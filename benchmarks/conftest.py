@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark writes its report (the rows/series corresponding to the
+paper's figure or headline number) both to stdout and to a text file under
+``benchmarks/results/`` so the numbers survive pytest's output capturing and
+can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale factor applied to the paper's workload sizes so the harness runs in
+#: minutes on a laptop.  Override with REPRO_BENCH_SCALE=1.0 for a full run.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def write_report(results_dir: Path, name: str, lines) -> str:
+    """Write a benchmark report to results/<name>.txt and return the text."""
+    text = "\n".join(lines) + "\n"
+    (results_dir / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text

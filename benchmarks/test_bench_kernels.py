@@ -1,0 +1,88 @@
+"""Microbenchmarks of the GraphBLAS kernels underneath the cascade (Fig. 1 support).
+
+Figure 1 argues that the cascade works because adding a small matrix into a
+small matrix is cheap while adding into a large matrix is expensive (it
+rewrites the large operand).  These microbenchmarks measure exactly that: the
+cost of ``A += B`` as a function of ``nnz(A)`` for fixed ``nnz(B)``, plus the
+cost of the build/dedup kernel — the two operations that dominate streaming
+ingest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix, binary
+from repro.graphblas.io import random_hypersparse
+
+from .conftest import write_report
+
+BATCH_NNZ = 10_000
+ACCUMULATED_SIZES = [10_000, 100_000, 1_000_000]
+
+_timings = {}
+
+
+@pytest.fixture(scope="module")
+def batch_matrix():
+    return random_hypersparse(BATCH_NNZ, seed=1)
+
+
+class TestUnionAddCost:
+    @pytest.mark.parametrize("accumulated", ACCUMULATED_SIZES)
+    def test_add_batch_into_accumulated(self, benchmark, accumulated, batch_matrix):
+        """Cost of one cascade step: merge a 10k-entry layer into a larger layer."""
+        target = random_hypersparse(accumulated, seed=2)
+
+        def merge():
+            target.dup().update(batch_matrix, accum=binary.plus)
+
+        benchmark(merge)
+        _timings[accumulated] = benchmark.stats.stats.mean
+
+    def test_zz_growth_report(self, benchmark, results_dir):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep visible under --benchmark-only
+        assert len(_timings) == len(ACCUMULATED_SIZES)
+        lines = [
+            "Kernel microbenchmark: cost of A += B with nnz(B)=10,000",
+            "",
+            f"{'nnz(A)':>12} {'seconds per merge':>20}",
+            "-" * 34,
+        ]
+        for nnz, seconds in sorted(_timings.items()):
+            lines.append(f"{nnz:>12,} {seconds:>20.6f}")
+        lines += [
+            "",
+            "expected shape: merge cost grows with nnz(A) — the reason updates must be",
+            "performed in the smallest layer (Fig. 1).",
+        ]
+        write_report(results_dir, "kernel_merge_cost", lines)
+        # Merging into a 1M-entry matrix is clearly more expensive than into 10k.
+        assert _timings[ACCUMULATED_SIZES[-1]] > _timings[ACCUMULATED_SIZES[0]]
+
+
+class TestBuildKernel:
+    def test_build_batch_throughput(self, benchmark):
+        """Throughput of the duplicate-collapsing build kernel on one batch."""
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 2**32, 100_000, dtype=np.uint64)
+        cols = rng.integers(0, 2**32, 100_000, dtype=np.uint64)
+        vals = np.ones(100_000)
+
+        def build():
+            Matrix("fp64", 2**32, 2**32).build(rows, cols, vals)
+
+        benchmark(build)
+
+    def test_setelement_pending_throughput(self, benchmark):
+        """Scalar-insert path: pending-tuple appends plus one final merge."""
+        def inserts():
+            A = Matrix("fp64", 2**32, 2**32)
+            for i in range(2_000):
+                A.setElement(i * 7, i * 13, 1.0)
+            A.wait()
+            return A
+
+        result = benchmark(inserts)
+        assert result.nvals == 2_000

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that fully offline environments without the ``wheel`` package can still do a
+legacy editable install via ``python setup.py develop`` (modern
+``pip install -e .`` requires building a wheel, which needs network access to
+fetch the ``wheel`` backend on minimal machines).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

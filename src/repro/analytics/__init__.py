@@ -1,0 +1,39 @@
+"""Network analytics on hypersparse traffic matrices.
+
+Implements the three analyses the paper's introduction motivates traffic
+matrices with: supernode observation, background (gravity) models, and
+residual/anomaly inference — plus the windowed streaming-analysis loop that
+combines them with hierarchical ingest.
+"""
+
+from .background import anomaly_scores, gravity_model, residual_matrix, top_anomalies
+from .degree import (
+    degree_summary,
+    fan_in,
+    fan_out,
+    in_degree,
+    out_degree,
+    total_traffic,
+)
+from .supernodes import Supernode, supernode_report, top_destinations, top_sources, traffic_share
+from .windows import WindowedAnalyzer, WindowSnapshot
+
+__all__ = [
+    "out_degree",
+    "in_degree",
+    "fan_out",
+    "fan_in",
+    "total_traffic",
+    "degree_summary",
+    "Supernode",
+    "top_sources",
+    "top_destinations",
+    "traffic_share",
+    "supernode_report",
+    "gravity_model",
+    "residual_matrix",
+    "anomaly_scores",
+    "top_anomalies",
+    "WindowedAnalyzer",
+    "WindowSnapshot",
+]

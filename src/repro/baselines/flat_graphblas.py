@@ -1,0 +1,93 @@
+"""Flat (non-hierarchical) GraphBLAS ingest baseline.
+
+The control case for the paper's central comparison: every update batch is
+merged directly into one large hypersparse matrix.  As the matrix grows, each
+merge rewrites the entire coordinate arrays, so the per-update cost grows with
+the accumulated state — precisely the "enormous pressure on the memory
+hierarchy" the paper's hierarchical layering removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graphblas import Matrix, binary
+from ..graphblas.binaryop import BinaryOp
+
+__all__ = ["FlatGraphBLASIngestor"]
+
+
+class FlatGraphBLASIngestor:
+    """Accumulates every update straight into a single hypersparse matrix.
+
+    Implements the same ``update(rows, cols, values)`` protocol as
+    :class:`~repro.core.HierarchicalMatrix` so the two can be benchmarked by
+    the identical :class:`~repro.workloads.IngestSession` harness.
+
+    Parameters
+    ----------
+    nrows, ncols, dtype:
+        Dimensions and value type of the accumulated matrix.
+    accum:
+        Operator merging duplicate coordinates (default ``plus``).
+    """
+
+    def __init__(
+        self,
+        nrows: int = 2 ** 64,
+        ncols: int = 2 ** 64,
+        dtype="fp64",
+        *,
+        accum: Optional[BinaryOp] = None,
+    ):
+        self._matrix = Matrix(dtype, nrows, ncols, name="flat")
+        self._accum = accum if accum is not None else binary.plus
+        self._total_updates = 0
+        self._element_writes = 0
+
+    @property
+    def matrix(self) -> Matrix:
+        """The accumulated matrix."""
+        return self._matrix
+
+    @property
+    def total_updates(self) -> int:
+        """Raw element updates submitted so far."""
+        return self._total_updates
+
+    @property
+    def element_writes(self) -> int:
+        """Total elements rewritten across all merges (the memory-pressure proxy).
+
+        Each batch merge rewrites the whole accumulated matrix, so this grows
+        quadratically with the number of batches — compare with
+        ``HierarchicalMatrix.stats.element_writes``.
+        """
+        return self._element_writes
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)`` of the accumulated matrix."""
+        return self._matrix.shape
+
+    def update(self, rows, cols, values=1) -> "FlatGraphBLASIngestor":
+        """Merge one batch directly into the accumulated matrix."""
+        n = np.asarray(rows).size
+        self._matrix.build(rows, cols, values, dup_op=self._accum)
+        self._total_updates += int(n)
+        # The union merge touches every stored entry plus the batch.
+        self._element_writes += self._matrix.nvals
+        return self
+
+    def materialize(self) -> Matrix:
+        """Return the accumulated matrix (already materialised by construction)."""
+        return self._matrix
+
+    def clear(self) -> "FlatGraphBLASIngestor":
+        """Drop all accumulated state."""
+        self._matrix.clear()
+        self._total_updates = 0
+        self._element_writes = 0
+        return self

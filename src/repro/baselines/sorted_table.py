@@ -1,0 +1,206 @@
+"""A minimal LSM-tree sorted-table store emulating Accumulo-style ingest.
+
+Figure 2 compares against Apache Accumulo (both raw and through D4M).
+Accumulo ingests key/value mutations into an in-memory *memtable*; when the
+memtable exceeds a threshold it is sorted and flushed to an immutable *SSTable*
+(tablet file), and background *compactions* merge SSTables together.  This
+module implements that write path in-process so the comparison can run
+offline: the memory/merge behaviour (memtable inserts cheap, flushes and
+compactions rewriting sorted runs) is what determines the ingest-rate shape,
+and that is preserved.
+
+It is intentionally *not* a full database — no WAL durability, no tablet
+splitting, no server RPC — because only the ingest cost model matters for the
+reproduction (documented in DESIGN.md as a substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SortedRun", "SortedTableStore"]
+
+
+@dataclass
+class SortedRun:
+    """One immutable sorted run (SSTable): parallel key/value arrays sorted by key."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of entries in the run."""
+        return int(self.rows.size)
+
+
+class SortedTableStore:
+    """An in-process LSM-tree key/value store with an Accumulo-like write path.
+
+    Parameters
+    ----------
+    memtable_limit:
+        Number of mutations buffered before a flush to an immutable sorted run.
+    compaction_fanin:
+        Number of sorted runs that triggers a (full) compaction merging them.
+
+    Notes
+    -----
+    Keys are (row, col) coordinate pairs and values are summed on merge, so the
+    store computes the same traffic matrix a GraphBLAS ingest does — only with
+    database-style data movement.
+    """
+
+    def __init__(self, *, memtable_limit: int = 100_000, compaction_fanin: int = 8):
+        if memtable_limit <= 0:
+            raise ValueError("memtable_limit must be positive")
+        if compaction_fanin < 2:
+            raise ValueError("compaction_fanin must be at least 2")
+        self.memtable_limit = int(memtable_limit)
+        self.compaction_fanin = int(compaction_fanin)
+        self._mem_rows: List[np.ndarray] = []
+        self._mem_cols: List[np.ndarray] = []
+        self._mem_vals: List[np.ndarray] = []
+        self._mem_count = 0
+        self._runs: List[SortedRun] = []
+        self._total_updates = 0
+        self._flushes = 0
+        self._compactions = 0
+        self._bytes_rewritten = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_updates(self) -> int:
+        """Raw mutations submitted."""
+        return self._total_updates
+
+    @property
+    def num_runs(self) -> int:
+        """Number of immutable sorted runs currently on 'disk'."""
+        return len(self._runs)
+
+    @property
+    def flushes(self) -> int:
+        """Number of memtable flushes performed."""
+        return self._flushes
+
+    @property
+    def compactions(self) -> int:
+        """Number of compactions performed."""
+        return self._compactions
+
+    @property
+    def entries_rewritten(self) -> int:
+        """Total entries rewritten by flushes and compactions (write amplification proxy)."""
+        return self._bytes_rewritten
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, rows, cols, values=1) -> "SortedTableStore":
+        """Ingest a batch of mutations (the Accumulo BatchWriter path)."""
+        r = np.asarray(rows, dtype=np.uint64).ravel()
+        c = np.asarray(cols, dtype=np.uint64).ravel()
+        if np.isscalar(values):
+            v = np.full(r.size, values, dtype=np.float64)
+        else:
+            v = np.asarray(values, dtype=np.float64).ravel()
+        self._mem_rows.append(r)
+        self._mem_cols.append(c)
+        self._mem_vals.append(v)
+        self._mem_count += r.size
+        self._total_updates += int(r.size)
+        if self._mem_count >= self.memtable_limit:
+            self.flush()
+        return self
+
+    put = update
+
+    def flush(self) -> None:
+        """Sort the memtable and write it out as an immutable run."""
+        if self._mem_count == 0:
+            return
+        rows = np.concatenate(self._mem_rows)
+        cols = np.concatenate(self._mem_cols)
+        vals = np.concatenate(self._mem_vals)
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        rows, cols, vals = self._combine_sorted(rows, cols, vals)
+        self._runs.append(SortedRun(rows, cols, vals))
+        self._bytes_rewritten += int(rows.size)
+        self._flushes += 1
+        self._mem_rows.clear()
+        self._mem_cols.clear()
+        self._mem_vals.clear()
+        self._mem_count = 0
+        if len(self._runs) >= self.compaction_fanin:
+            self.compact()
+
+    @staticmethod
+    def _combine_sorted(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray):
+        """Sum duplicate keys in lexsorted arrays (Accumulo summing combiner)."""
+        if rows.size == 0:
+            return rows, cols, vals
+        new_group = np.concatenate(
+            ([True], (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1]))
+        )
+        starts = np.flatnonzero(new_group)
+        summed = np.add.reduceat(vals, starts)
+        return rows[starts], cols[starts], summed
+
+    def compact(self) -> None:
+        """Merge every sorted run into one (a full major compaction)."""
+        if len(self._runs) <= 1:
+            return
+        rows = np.concatenate([r.rows for r in self._runs])
+        cols = np.concatenate([r.cols for r in self._runs])
+        vals = np.concatenate([r.values for r in self._runs])
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        rows, cols, vals = self._combine_sorted(rows, cols, vals)
+        self._runs = [SortedRun(rows, cols, vals)]
+        self._bytes_rewritten += int(rows.size)
+        self._compactions += 1
+
+    # ------------------------------------------------------------------ #
+
+    def scan(self, row: int, col: int) -> Optional[float]:
+        """Point lookup summing the memtable and every run (Accumulo scan semantics)."""
+        total = 0.0
+        found = False
+        key_r, key_c = np.uint64(row), np.uint64(col)
+        for rows, cols, vals in zip(self._mem_rows, self._mem_cols, self._mem_vals):
+            hit = (rows == key_r) & (cols == key_c)
+            if np.any(hit):
+                total += float(vals[hit].sum())
+                found = True
+        for run in self._runs:
+            lo = np.searchsorted(run.rows, key_r, side="left")
+            hi = np.searchsorted(run.rows, key_r, side="right")
+            if lo == hi:
+                continue
+            sub = slice(lo, hi)
+            hit = run.cols[sub] == key_c
+            if np.any(hit):
+                total += float(run.values[sub][hit].sum())
+                found = True
+        return total if found else None
+
+    def to_triples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Materialise the full store as summed coordinate triples."""
+        self.flush()
+        self.compact()
+        if not self._runs:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        run = self._runs[0]
+        return run.rows.copy(), run.cols.copy(), run.values.copy()
+
+    @property
+    def nvals(self) -> int:
+        """Distinct keys currently stored (forces a flush+compaction)."""
+        return int(self.to_triples()[0].size)

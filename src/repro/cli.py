@@ -1,0 +1,189 @@
+"""Command-line entry points.
+
+Three commands mirror the paper's experiments:
+
+* ``repro-ingest`` — measure the single-instance streaming update rate
+  (Headline A: "over 1,000,000 updates per second in a single instance");
+* ``repro-scaling`` — run the local parallel ingest engine and report the
+  aggregate rate across worker processes;
+* ``repro-fig2`` — print the full Figure 2 table (measured+modelled series next
+  to the published reference curves).
+
+Every command prints plain aligned text so output can be diffed against
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import (
+    FlatGraphBLASIngestor,
+    HierarchicalD4MIngestor,
+    PAPER_HEADLINE_RATE,
+)
+from .core import HierarchicalMatrix
+from .distributed import (
+    ClusterConfig,
+    ParallelIngestEngine,
+    SuperCloudModel,
+    build_figure2_table,
+    format_table,
+)
+from .workloads import IngestSession, paper_stream
+
+__all__ = ["main_ingest", "main_scaling", "main_fig2"]
+
+
+def _parse_cuts(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+# --------------------------------------------------------------------------- #
+# repro-ingest
+# --------------------------------------------------------------------------- #
+
+
+def main_ingest(argv: Optional[Sequence[str]] = None) -> int:
+    """Measure the single-instance streaming update rate (Headline A)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ingest",
+        description="Stream a power-law workload into one hierarchical hypersparse matrix "
+        "and report updates/second.",
+    )
+    parser.add_argument("--updates", type=int, default=1_000_000, help="total element updates")
+    parser.add_argument("--batches", type=int, default=100, help="number of update batches")
+    parser.add_argument(
+        "--cuts", type=_parse_cuts, default=[2 ** 17, 2 ** 20, 2 ** 23],
+        help="comma-separated cut thresholds, e.g. 131072,1048576,8388608",
+    )
+    parser.add_argument(
+        "--system",
+        choices=["hierarchical", "flat", "hierarchical-d4m"],
+        default="hierarchical",
+        help="which ingest system to measure",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true", help="emit a JSON result object")
+    args = parser.parse_args(argv)
+
+    if args.system == "hierarchical":
+        ingestor = HierarchicalMatrix(2 ** 32, 2 ** 32, "fp64", cuts=args.cuts)
+    elif args.system == "flat":
+        ingestor = FlatGraphBLASIngestor(2 ** 32, 2 ** 32)
+    else:
+        ingestor = HierarchicalD4MIngestor(cuts=args.cuts)
+
+    session = IngestSession(ingestor, args.system)
+    scale = args.updates / 100_000_000
+    result = session.run(paper_stream(scale=scale, nbatches=args.batches, seed=args.seed))
+
+    if args.json:
+        print(json.dumps(result.as_row(), indent=2))
+    else:
+        print(f"system:              {result.system}")
+        print(f"total updates:       {result.total_updates:,}")
+        print(f"elapsed seconds:     {result.elapsed_seconds:.3f}")
+        print(f"updates per second:  {result.updates_per_second:,.0f}")
+        if result.metadata:
+            print(f"cascades per layer:  {result.metadata.get('cascades')}")
+            print(f"fast-memory share:   {result.metadata.get('fast_memory_fraction', 0):.3f}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-scaling
+# --------------------------------------------------------------------------- #
+
+
+def main_scaling(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the local parallel engine and the SuperCloud projection."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scaling",
+        description="Run N independent ingest workers, sum their rates, and project "
+        "the aggregate to the paper's 1,100-node configuration.",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--updates-per-worker", type=int, default=500_000)
+    parser.add_argument("--batch-size", type=int, default=50_000)
+    parser.add_argument(
+        "--cuts", type=_parse_cuts, default=[2 ** 17, 2 ** 20, 2 ** 23]
+    )
+    parser.add_argument("--sequential", action="store_true", help="run workers in-process")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    engine = ParallelIngestEngine(
+        args.workers, cuts=args.cuts, use_processes=not args.sequential
+    )
+    result = engine.run(args.updates_per_worker, args.batch_size)
+    model = SuperCloudModel(ClusterConfig.paper_configuration())
+    projection = model.headline_projection(result.mean_worker_rate)
+
+    if args.json:
+        payload = {
+            "workers": result.nworkers,
+            "total_updates": result.total_updates,
+            "wall_seconds": result.wall_seconds,
+            "aggregate_rate_sum": result.aggregate_rate_sum,
+            "aggregate_rate_wall": result.aggregate_rate_wall,
+            "mean_worker_rate": result.mean_worker_rate,
+            "headline_projection": projection,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"workers:                    {result.nworkers}")
+        print(f"total updates:              {result.total_updates:,}")
+        print(f"wall seconds:               {result.wall_seconds:.3f}")
+        print(f"aggregate rate (sum):       {result.aggregate_rate_sum:,.0f} updates/s")
+        print(f"aggregate rate (wall):      {result.aggregate_rate_wall:,.0f} updates/s")
+        print(f"mean per-worker rate:       {result.mean_worker_rate:,.0f} updates/s")
+        print("--- SuperCloud projection (1,100 nodes x 28 instances) ---")
+        print(f"projected aggregate rate:   {projection['aggregate_rate']:,.0f} updates/s")
+        print(f"paper headline rate:        {PAPER_HEADLINE_RATE:,} updates/s")
+        print(f"ratio to paper:             {projection['ratio_to_paper']:.2f}x")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-fig2
+# --------------------------------------------------------------------------- #
+
+
+def main_fig2(argv: Optional[Sequence[str]] = None) -> int:
+    """Print the Figure 2 table (rate versus number of servers, all systems)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fig2",
+        description="Measure per-instance rates for hierarchical GraphBLAS and "
+        "hierarchical D4M, extrapolate them with the SuperCloud model, and print "
+        "them next to the published Figure 2 reference curves.",
+    )
+    parser.add_argument("--updates", type=int, default=300_000, help="updates per measured system")
+    parser.add_argument("--d4m-updates", type=int, default=30_000, help="updates for the D4M measurement")
+    parser.add_argument("--cuts", type=_parse_cuts, default=[2 ** 17, 2 ** 20, 2 ** 23])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    hier = HierarchicalMatrix(2 ** 32, 2 ** 32, "fp64", cuts=args.cuts)
+    hier_result = IngestSession(hier, "hier-graphblas").run(
+        paper_stream(scale=args.updates / 100_000_000, nbatches=100, seed=args.seed)
+    )
+    d4m = HierarchicalD4MIngestor(cuts=[1000, 10_000, 100_000])
+    d4m_result = IngestSession(d4m, "hier-d4m").run(
+        paper_stream(scale=args.d4m_updates / 100_000_000, nbatches=20, seed=args.seed)
+    )
+    rows = build_figure2_table(
+        {
+            "Hierarchical GraphBLAS (measured)": hier_result.updates_per_second,
+            "Hierarchical D4M (measured)": d4m_result.updates_per_second,
+        }
+    )
+    print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_ingest())

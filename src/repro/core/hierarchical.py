@@ -1,0 +1,341 @@
+"""Hierarchical hypersparse matrices (the paper's primary contribution).
+
+An N-level hierarchical hypersparse matrix maintains GraphBLAS matrices
+:math:`A_1 ... A_N` with nonzero-count cuts :math:`c_1 ... c_{N-1}`:
+
+* Streaming updates are added into the smallest matrix: :math:`A_1 = A_1 + A`.
+* Whenever :math:`nnz(A_i) > c_i`, layer :math:`A_i` is added into
+  :math:`A_{i+1}` and cleared.  The check repeats up the hierarchy until
+  :math:`nnz(A_i) \\le c_i` or the unbounded last layer is reached.
+* A full query materialises :math:`A = \\sum_{i=1}^{N} A_i`.
+
+Because the layers are combined with the GraphBLAS ``plus`` operation, the
+result is *exactly* the matrix obtained by a single flat accumulation — the
+hierarchy is purely a performance transformation, which is the linearity
+guarantee the paper leans on.  The small layers absorb the overwhelming
+majority of element writes, so almost all work happens on arrays small enough
+to stay in fast memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graphblas import Matrix, binary
+from ..graphblas.binaryop import BinaryOp
+from ..graphblas.errors import DimensionMismatch, InvalidValue
+from ..graphblas.types import DataType, lookup_dtype
+from .policy import CutPolicy, FixedCuts, default_policy
+from .stats import UpdateStats
+
+__all__ = ["HierarchicalMatrix"]
+
+MAX_DIM = 2 ** 64
+
+
+class HierarchicalMatrix:
+    """An N-level cascade of hypersparse GraphBLAS matrices.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Logical dimensions (default the full 2^64 IPv6 address space).
+    dtype:
+        GraphBLAS value type (default FP64).
+    cuts:
+        Explicit cut thresholds :math:`c_1 ... c_{N-1}`; mutually exclusive
+        with ``policy``.
+    policy:
+        A :class:`~repro.core.policy.CutPolicy` supplying (and possibly
+        adapting) the cuts.  When neither ``cuts`` nor ``policy`` is given the
+        library default (4 levels, geometric growth) is used.
+    accum:
+        Binary operator used both for merging updates into layer 1 and for
+        cascading layers (default ``plus``, as in the paper).
+    track_stats:
+        Maintain an :class:`~repro.core.stats.UpdateStats` instance (small
+        constant overhead; enabled by default).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> H = HierarchicalMatrix(cuts=[4, 16])
+    >>> H.update([1, 2, 3], [4, 5, 6], [1.0, 1.0, 1.0])
+    >>> H.update([1, 9, 9], [4, 9, 9], [2.0, 1.0, 1.0])
+    >>> H.materialize()[1, 4]
+    3.0
+    """
+
+    def __init__(
+        self,
+        nrows: int = MAX_DIM,
+        ncols: int = MAX_DIM,
+        dtype="fp64",
+        *,
+        cuts: Optional[Sequence[int]] = None,
+        policy: Optional[CutPolicy] = None,
+        accum: Optional[BinaryOp] = None,
+        track_stats: bool = True,
+        name: str = "",
+    ):
+        if cuts is not None and policy is not None:
+            raise InvalidValue("pass either cuts= or policy=, not both")
+        if policy is None:
+            policy = FixedCuts(cuts) if cuts is not None else default_policy()
+        self._policy = policy
+        self._cuts: List[int] = list(policy.initial_cuts())
+        if not self._cuts:
+            raise InvalidValue("a hierarchy needs at least one cut (two levels)")
+        self._nlevels = len(self._cuts) + 1
+        self._dtype: DataType = lookup_dtype(dtype)
+        self._nrows = int(nrows)
+        self._ncols = int(ncols)
+        self._accum = accum if accum is not None else binary.plus
+        self._layers: List[Matrix] = [
+            Matrix(self._dtype, self._nrows, self._ncols, name=f"{name}A{i + 1}")
+            for i in range(self._nlevels)
+        ]
+        self._stats = UpdateStats(self._nlevels) if track_stats else None
+        # Per-layer count of total updates at the time of that layer's last
+        # cascade; used to feed adaptive policies.
+        self._last_cascade_at = [0] * self._nlevels
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows of the logical matrix."""
+        return self._nrows
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns of the logical matrix."""
+        return self._ncols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self._nrows, self._ncols)
+
+    @property
+    def dtype(self) -> DataType:
+        """Value type of every layer."""
+        return self._dtype
+
+    @property
+    def nlevels(self) -> int:
+        """Number of layers ``N``."""
+        return self._nlevels
+
+    @property
+    def cuts(self) -> Tuple[int, ...]:
+        """Current cut thresholds :math:`c_1 ... c_{N-1}`."""
+        return tuple(self._cuts)
+
+    @property
+    def layers(self) -> Tuple[Matrix, ...]:
+        """The layer matrices :math:`A_1 ... A_N` (do not mutate directly)."""
+        return tuple(self._layers)
+
+    @property
+    def layer_nvals(self) -> Tuple[int, ...]:
+        """Stored entries per layer."""
+        return tuple(layer.nvals for layer in self._layers)
+
+    @property
+    def nvals_stored(self) -> int:
+        """Total stored entries summed over layers.
+
+        This counts coordinates stored in more than one layer multiple times;
+        the exact logical ``nvals`` requires :meth:`materialize`.
+        """
+        return sum(layer.nvals for layer in self._layers)
+
+    @property
+    def nvals(self) -> int:
+        """Exact number of logical entries (materialises the sum of layers)."""
+        return self.materialize().nvals
+
+    @property
+    def stats(self) -> Optional[UpdateStats]:
+        """Update instrumentation, or None when ``track_stats=False``."""
+        return self._stats
+
+    @property
+    def policy(self) -> CutPolicy:
+        """The cut policy in force."""
+        return self._policy
+
+    @property
+    def memory_usage(self) -> int:
+        """Approximate bytes of coordinate/value storage across all layers."""
+        return sum(layer.memory_usage for layer in self._layers)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, rows, cols, values=1) -> "HierarchicalMatrix":
+        """Add a batch of triples to the hierarchy (``A_1 = A_1 + A``), then cascade.
+
+        ``values`` may be an array or a scalar broadcast over all coordinates
+        (the traffic-matrix use case adds 1 per observed packet).
+        """
+        start = time.perf_counter()
+        n = rows.size if isinstance(rows, np.ndarray) else len(rows)
+        self._layers[0].build(rows, cols, values, dup_op=self._accum)
+        if self._stats is not None:
+            self._stats.record_update(n)
+            self._stats.record_layer_size(0, self._layers[0].nvals)
+        self._cascade()
+        if self._stats is not None:
+            self._stats.elapsed_seconds += time.perf_counter() - start
+        return self
+
+    def update_matrix(self, other: Matrix) -> "HierarchicalMatrix":
+        """Add an already-built hypersparse matrix into the hierarchy."""
+        if other.shape != self.shape:
+            raise DimensionMismatch(
+                f"update_matrix requires shape {self.shape}, got {other.shape}"
+            )
+        start = time.perf_counter()
+        n = other.nvals
+        self._layers[0].update(other, accum=self._accum)
+        if self._stats is not None:
+            self._stats.record_update(n)
+            self._stats.record_layer_size(0, self._layers[0].nvals)
+        self._cascade()
+        if self._stats is not None:
+            self._stats.elapsed_seconds += time.perf_counter() - start
+        return self
+
+    def insert(self, row: int, col: int, value=1) -> "HierarchicalMatrix":
+        """Add a single element (convenience wrapper around :meth:`update`)."""
+        return self.update([row], [col], [value])
+
+    def __iadd__(self, other) -> "HierarchicalMatrix":
+        if isinstance(other, Matrix):
+            return self.update_matrix(other)
+        if isinstance(other, tuple) and len(other) in (2, 3):
+            return self.update(*other)
+        raise TypeError(
+            "HierarchicalMatrix += expects a Matrix or a (rows, cols[, values]) tuple"
+        )
+
+    def _cascade(self) -> None:
+        """Propagate overflowing layers upward (Fig. 1 of the paper).
+
+        Layer ``i`` is merged into layer ``i+1`` and cleared whenever its
+        stored-entry count exceeds ``c_i``; the scan repeats on the next layer
+        so a single large update can ripple through several levels.
+        """
+        total_updates = self._stats.total_updates if self._stats is not None else 0
+        for i in range(self._nlevels - 1):
+            nvals_i = self._layers[i].nvals
+            if self._stats is not None:
+                self._stats.record_layer_size(i, nvals_i)
+            if nvals_i <= self._cuts[i]:
+                break
+            self._layers[i + 1].update(self._layers[i], accum=self._accum)
+            self._layers[i].clear()
+            if self._stats is not None:
+                self._stats.record_cascade(i, nvals_i)
+                self._stats.record_layer_size(i + 1, self._layers[i + 1].nvals)
+            updates_since = total_updates - self._last_cascade_at[i]
+            self._last_cascade_at[i] = total_updates
+            new_cuts = self._policy.on_cascade(
+                i, nvals_i, list(self._cuts), updates_since_last=updates_since
+            )
+            if list(new_cuts) != self._cuts:
+                self._set_cuts(new_cuts)
+
+    def _set_cuts(self, cuts: Sequence[int]) -> None:
+        cuts = [int(c) for c in cuts]
+        if len(cuts) != self._nlevels - 1:
+            raise InvalidValue(
+                f"expected {self._nlevels - 1} cuts, got {len(cuts)}"
+            )
+        if any(c <= 0 for c in cuts) or any(b < a for a, b in zip(cuts, cuts[1:])):
+            raise InvalidValue(f"cuts must be positive and non-decreasing, got {cuts}")
+        self._cuts = cuts
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def materialize(self) -> Matrix:
+        """Sum all layers into a single hypersparse matrix (:math:`A = \\sum_i A_i`).
+
+        The layers themselves are left untouched, so streaming can continue.
+        """
+        out = Matrix(self._dtype, self._nrows, self._ncols, name=f"{self.name}sum")
+        for layer in self._layers:
+            if layer.nvals:
+                out.update(layer, accum=self._accum)
+        return out
+
+    def flush(self) -> Matrix:
+        """Collapse every layer into the last one and return it.
+
+        After ``flush`` the lower layers are empty and the top layer holds the
+        complete matrix; streaming may continue afterwards.
+        """
+        top = self._layers[-1]
+        for layer in self._layers[:-1]:
+            if layer.nvals:
+                top.update(layer, accum=self._accum)
+                if self._stats is not None:
+                    self._stats.element_writes[-1] += layer.nvals
+                layer.clear()
+        return top
+
+    def get(self, row: int, col: int, default=None):
+        """Read one logical element (sums contributions from every layer)."""
+        found = False
+        acc = None
+        for layer in self._layers:
+            v = layer.extractElement(row, col)
+            if v is None:
+                continue
+            if not found:
+                acc = v
+                found = True
+            else:
+                acc = self._accum(np.asarray(acc), np.asarray(v)).item()
+        return acc if found else default
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple) and len(key) == 2:
+            return self.get(int(key[0]), int(key[1]))
+        raise TypeError("HierarchicalMatrix indexing requires a (row, col) pair")
+
+    def __contains__(self, key) -> bool:
+        return self.get(int(key[0]), int(key[1])) is not None
+
+    def clear(self) -> "HierarchicalMatrix":
+        """Empty every layer (cuts and statistics structure are retained)."""
+        for layer in self._layers:
+            layer.clear()
+        if self._stats is not None:
+            self._stats.reset()
+        self._last_cascade_at = [0] * self._nlevels
+        return self
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Extract the logical matrix as coordinate triples."""
+        return self.materialize().extract_tuples()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        sizes = ", ".join(str(n) for n in self.layer_nvals)
+        return (
+            f"<HierarchicalMatrix{label} {self._nrows}x{self._ncols} "
+            f"{self._dtype.name}, levels={self._nlevels}, cuts={self._cuts}, "
+            f"layer_nvals=[{sizes}]>"
+        )

@@ -1,0 +1,137 @@
+"""Sorted string key tables for D4M associative arrays.
+
+D4M associative arrays label the rows and columns of an underlying sparse
+matrix with *sorted lists of strings*.  :class:`StringTable` implements that
+sorted list: an immutable, duplicate-free, lexicographically ordered array of
+keys with vectorised lookup (key -> index), union, and slicing by key range —
+the operations Assoc-array addition and subscripting are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["StringTable"]
+
+KeyLike = Union[str, int, float]
+
+
+def _normalise_keys(keys: Iterable[KeyLike]) -> np.ndarray:
+    """Convert keys to a NumPy unicode array (numbers become their repr)."""
+    as_list = [k if isinstance(k, str) else repr(k) if isinstance(k, float) else str(k) for k in keys]
+    return np.asarray(as_list, dtype=np.str_)
+
+
+class StringTable:
+    """A sorted, duplicate-free table of string keys.
+
+    Examples
+    --------
+    >>> t = StringTable(["b", "a", "b"])
+    >>> list(t)
+    ['a', 'b']
+    >>> t.lookup(["b", "z"]).tolist()
+    [1, -1]
+    """
+
+    __slots__ = ("_keys",)
+
+    def __init__(self, keys: Iterable[KeyLike] = ()):
+        arr = _normalise_keys(keys)
+        self._keys = np.unique(arr) if arr.size else arr
+
+    @classmethod
+    def _from_sorted_unique(cls, keys: np.ndarray) -> "StringTable":
+        out = cls.__new__(cls)
+        out._keys = keys
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The sorted key array (do not mutate)."""
+        return self._keys
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def __iter__(self):
+        return iter(self._keys.tolist())
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return bool(self.lookup([key])[0] >= 0)
+
+    def __getitem__(self, index: int) -> str:
+        return str(self._keys[int(index)])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StringTable):
+            return NotImplemented
+        return bool(np.array_equal(self._keys, other._keys))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(self._keys[:4].tolist())
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"StringTable([{preview}{suffix}], n={len(self)})"
+
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, keys: Iterable[KeyLike]) -> np.ndarray:
+        """Indices of ``keys`` within the table; ``-1`` marks missing keys."""
+        query = _normalise_keys(keys)
+        if self._keys.size == 0:
+            return np.full(query.size, -1, dtype=np.int64)
+        pos = np.searchsorted(self._keys, query)
+        pos_clamped = np.minimum(pos, self._keys.size - 1)
+        hit = self._keys[pos_clamped] == query
+        out = np.where(hit, pos_clamped, -1).astype(np.int64)
+        return out
+
+    def require(self, keys: Iterable[KeyLike]) -> np.ndarray:
+        """Indices of ``keys``; raises ``KeyError`` if any key is missing."""
+        idx = self.lookup(keys)
+        if np.any(idx < 0):
+            missing = _normalise_keys(keys)[idx < 0][:5].tolist()
+            raise KeyError(f"keys not present in table: {missing}")
+        return idx
+
+    def union(self, other: "StringTable") -> Tuple["StringTable", np.ndarray, np.ndarray]:
+        """Union of two tables.
+
+        Returns ``(merged, self_map, other_map)`` where the map arrays carry
+        each table's old indices to positions within ``merged`` — exactly what
+        Assoc-array addition needs to reindex its underlying matrices.
+        """
+        if other._keys.size == 0:
+            return self, np.arange(len(self), dtype=np.int64), np.empty(0, dtype=np.int64)
+        if self._keys.size == 0:
+            return other, np.empty(0, dtype=np.int64), np.arange(len(other), dtype=np.int64)
+        merged_keys = np.union1d(self._keys, other._keys)
+        merged = StringTable._from_sorted_unique(merged_keys)
+        self_map = np.searchsorted(merged_keys, self._keys).astype(np.int64)
+        other_map = np.searchsorted(merged_keys, other._keys).astype(np.int64)
+        return merged, self_map, other_map
+
+    def select_range(self, start: KeyLike, stop: KeyLike) -> np.ndarray:
+        """Indices of keys in the lexicographic interval ``[start, stop]`` (inclusive)."""
+        start_s = _normalise_keys([start])[0]
+        stop_s = _normalise_keys([stop])[0]
+        lo = int(np.searchsorted(self._keys, start_s, side="left"))
+        hi = int(np.searchsorted(self._keys, stop_s, side="right"))
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def startswith(self, prefix: str) -> np.ndarray:
+        """Indices of keys starting with ``prefix`` (D4M's ``'prefix*'`` query)."""
+        lo = int(np.searchsorted(self._keys, prefix, side="left"))
+        # The smallest string strictly greater than every prefixed key.
+        sentinel = prefix + chr(0x10FFFF)
+        hi = int(np.searchsorted(self._keys, sentinel, side="right"))
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def take(self, indices: Sequence[int]) -> "StringTable":
+        """A new table containing only the keys at ``indices`` (kept sorted)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return StringTable._from_sorted_unique(np.unique(self._keys[idx]))

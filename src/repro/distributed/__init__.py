@@ -1,0 +1,20 @@
+"""Distributed-scaling substrate: the SuperCloud model, the local parallel
+ingest engine, and the Figure 2 table assembly."""
+
+from .aggregate import DEFAULT_SERVER_COUNTS, Figure2Row, build_figure2_table, format_table
+from .engine import ParallelIngestEngine, ParallelIngestResult, WorkerReport, ingest_worker
+from .supercloud import ClusterConfig, ScalingPoint, SuperCloudModel
+
+__all__ = [
+    "ClusterConfig",
+    "ScalingPoint",
+    "SuperCloudModel",
+    "ParallelIngestEngine",
+    "ParallelIngestResult",
+    "WorkerReport",
+    "ingest_worker",
+    "Figure2Row",
+    "build_figure2_table",
+    "format_table",
+    "DEFAULT_SERVER_COUNTS",
+]

@@ -1,0 +1,113 @@
+"""A from-scratch hypersparse GraphBLAS substrate in NumPy.
+
+This package re-implements the subset of the SuiteSparse:GraphBLAS
+functionality that the paper's hierarchical hypersparse matrices rely on:
+
+* hypersparse :class:`Matrix` and sparse :class:`Vector` containers whose
+  storage cost depends only on the number of stored values (``nvals``), never
+  on the logical dimensions — so a :math:`2^{64} \\times 2^{64}` IPv6 traffic
+  matrix is a perfectly ordinary object;
+* the GraphBLAS algebra: binary/unary operators, monoids, semirings,
+  element-wise add/multiply, matrix multiply, reductions, apply, select,
+  extract, assign, transpose and Kronecker products;
+* SuiteSparse-style *pending tuples* so that streams of scalar insertions are
+  buffered and merged lazily.
+
+Example
+-------
+>>> from repro.graphblas import Matrix, semiring
+>>> A = Matrix.from_coo([0, 1], [1, 2], [1.0, 2.0], nrows=3, ncols=3)
+>>> B = Matrix.from_coo([1, 2], [2, 0], [3.0, 4.0], nrows=3, ncols=3)
+>>> C = A.mxm(B, semiring.plus_times)
+>>> sorted(C)
+[(0, 2, 3.0), (1, 0, 8.0)]
+"""
+
+from . import algorithms
+from .binaryop import BinaryOp, binary
+from .descriptor import Descriptor, descriptor
+from .errors import (
+    DimensionMismatch,
+    DomainMismatch,
+    EmptyObject,
+    GraphBLASError,
+    IndexOutOfBound,
+    InvalidIndex,
+    InvalidValue,
+    NotImplementedException,
+    OutputNotEmpty,
+)
+from .io import mmread, mmwrite, random_hypersparse, read_triples, write_triples
+from .mask import ComplementMask, Mask, StructuralMask, ValueMask
+from .matrix import Matrix
+from .monoid import Monoid, monoid
+from .select import SelectOp, select_op
+from .semiring import Semiring, semiring
+from .types import (
+    BOOL,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    DataType,
+    lookup_dtype,
+    unify,
+)
+from .unaryop import UnaryOp, unary
+from .vector import Vector
+
+__all__ = [
+    "algorithms",
+    "Matrix",
+    "Vector",
+    "BinaryOp",
+    "UnaryOp",
+    "Monoid",
+    "Semiring",
+    "SelectOp",
+    "Descriptor",
+    "Mask",
+    "StructuralMask",
+    "ValueMask",
+    "ComplementMask",
+    "binary",
+    "unary",
+    "monoid",
+    "semiring",
+    "select_op",
+    "descriptor",
+    "DataType",
+    "lookup_dtype",
+    "unify",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "GraphBLASError",
+    "DimensionMismatch",
+    "DomainMismatch",
+    "EmptyObject",
+    "IndexOutOfBound",
+    "InvalidIndex",
+    "InvalidValue",
+    "NotImplementedException",
+    "OutputNotEmpty",
+    "mmread",
+    "mmwrite",
+    "read_triples",
+    "write_triples",
+    "random_hypersparse",
+]

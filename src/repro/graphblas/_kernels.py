@@ -1,0 +1,345 @@
+"""Low-level NumPy kernels for hypersparse (sorted-COO) matrices.
+
+Every kernel operates on parallel ``(rows, cols, vals)`` arrays where the
+coordinates are stored as ``uint64`` (so that 2^64 x 2^64 IPv6 traffic matrices
+never overflow) and the tuples are sorted lexicographically by ``(row, col)``
+with no duplicate coordinates.  This is the "hypersparse" invariant: storage is
+proportional to the number of stored entries only, never to the matrix
+dimensions.
+
+The kernels are deliberately free of Python-level loops on the hot paths
+(sorting, duplicate collapse, union/intersection merges) per the
+vectorisation guidance in the HPC-Python guides; the only loops that remain are
+fallbacks for non-ufunc duplicate operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .binaryop import BinaryOp, binary
+from .errors import InvalidIndex
+
+__all__ = [
+    "INDEX_DTYPE",
+    "as_index_array",
+    "sort_coo",
+    "collapse_duplicates",
+    "union_merge",
+    "intersect_merge",
+    "difference_mask",
+    "membership_mask",
+    "search_sorted_coo",
+    "group_starts",
+]
+
+#: dtype used for row/column coordinates throughout the library.
+INDEX_DTYPE = np.dtype(np.uint64)
+
+Triple = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def as_index_array(idx, name: str = "index") -> np.ndarray:
+    """Validate and convert ``idx`` to a 1-D uint64 coordinate array.
+
+    Negative values and non-integer arrays raise :class:`InvalidIndex`.
+    """
+    if not isinstance(idx, np.ndarray) and (
+        not hasattr(idx, "__len__")
+        or len(idx) == 0
+        or isinstance(idx[0], (int, np.integer))
+    ):
+        # Python sequences of large ints (> 2**63) would be lossily promoted to
+        # float64 by plain asarray (NumPy 2.x); convert straight to uint64 so
+        # full 64-bit IPv6 coordinates survive exactly.
+        try:
+            arr = np.asarray(idx, dtype=INDEX_DTYPE)
+        except (OverflowError, ValueError, TypeError):
+            arr = np.asarray(idx)
+        else:
+            if arr.ndim == 0:
+                arr = arr.reshape(1)
+            if arr.ndim != 1:
+                raise InvalidIndex(
+                    f"{name} must be one-dimensional, got shape {arr.shape}"
+                )
+            return arr
+    else:
+        arr = np.asarray(idx)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise InvalidIndex(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.dtype == INDEX_DTYPE:
+        return arr
+    if arr.dtype.kind == "f":
+        if not np.all(arr == np.floor(arr)):
+            raise InvalidIndex(f"{name} contains non-integer values")
+        arr = arr.astype(np.int64)
+    if arr.dtype.kind == "i":
+        if arr.size and arr.min() < 0:
+            raise InvalidIndex(f"{name} contains negative values")
+        return arr.astype(INDEX_DTYPE)
+    if arr.dtype.kind == "u":
+        return arr.astype(INDEX_DTYPE)
+    if arr.dtype.kind == "b":
+        return arr.astype(INDEX_DTYPE)
+    raise InvalidIndex(f"{name} has non-integer dtype {arr.dtype}")
+
+
+def sort_coo(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> Triple:
+    """Sort COO triples lexicographically by (row, col).
+
+    Returns new arrays; the inputs are not modified.  Already-sorted input is
+    detected and returned without copying work beyond the monotonicity check.
+    """
+    if rows.size <= 1:
+        return rows, cols, vals
+    # Cheap monotonicity check before paying for a lexsort: already strictly
+    # sorted input (the common case when merging clean matrices) passes through.
+    if np.all(rows[1:] >= rows[:-1]):
+        same_row = rows[1:] == rows[:-1]
+        if not np.any(same_row) or np.all(cols[1:][same_row] > cols[:-1][same_row]):
+            return rows, cols, vals
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], vals[order]
+
+
+def group_starts(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Start offsets of each run of identical (row, col) pairs in sorted COO."""
+    if rows.size == 0:
+        return np.empty(0, dtype=np.intp)
+    new_group = np.empty(rows.size, dtype=bool)
+    new_group[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=new_group[1:])
+    np.logical_or(new_group[1:], cols[1:] != cols[:-1], out=new_group[1:])
+    return np.flatnonzero(new_group)
+
+
+def collapse_duplicates(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    dup_op: Optional[BinaryOp] = None,
+) -> Triple:
+    """Collapse duplicate coordinates in *sorted* COO triples.
+
+    ``dup_op`` combines duplicate values (default: ``plus``, matching
+    ``GrB_Matrix_build``'s most common usage).  The ``second`` operator keeps
+    the last value written, ``first`` the first.  ufunc-backed operators use a
+    single ``reduceat`` call; everything else falls back to a loop over only
+    the duplicated groups.
+    """
+    if rows.size <= 1:
+        return rows, cols, vals
+    if dup_op is None:
+        dup_op = binary.plus
+    starts = group_starts(rows, cols)
+    if starts.size == rows.size:  # no duplicates at all
+        return rows, cols, vals
+    out_rows = rows[starts]
+    out_cols = cols[starts]
+    if dup_op.name == "first":
+        return out_rows, out_cols, vals[starts]
+    if dup_op.name == "second":
+        ends = np.append(starts[1:], rows.size) - 1
+        return out_rows, out_cols, vals[ends]
+    if dup_op.ufunc is not None:
+        out_vals = dup_op.ufunc.reduceat(vals, starts)
+        if out_vals.dtype != vals.dtype:
+            out_vals = out_vals.astype(vals.dtype)
+        return out_rows, out_cols, out_vals
+    # Generic fallback: reduce each group with a Python loop.
+    ends = np.append(starts[1:], rows.size)
+    out_vals = np.empty(starts.size, dtype=vals.dtype)
+    for i in range(starts.size):
+        acc = vals[starts[i]]
+        for j in range(starts[i] + 1, ends[i]):
+            acc = dup_op(acc, vals[j])
+        out_vals[i] = acc
+    return out_rows, out_cols, out_vals
+
+
+def union_merge(
+    a: Triple,
+    b: Triple,
+    op: Optional[BinaryOp] = None,
+    out_dtype: Optional[np.dtype] = None,
+) -> Triple:
+    """Element-wise union (``eWiseAdd``) of two sorted, duplicate-free COO sets.
+
+    Coordinates present in only one operand copy through unchanged; matching
+    coordinates are combined with ``op`` (default ``plus``).  The result is
+    sorted and duplicate-free.
+    """
+    if op is None:
+        op = binary.plus
+    ra, ca, va = a
+    rb, cb, vb = b
+    if out_dtype is None:
+        out_dtype = np.promote_types(va.dtype, vb.dtype)
+    if ra.size == 0:
+        return rb.copy(), cb.copy(), vb.astype(out_dtype, copy=True)
+    if rb.size == 0:
+        return ra.copy(), ca.copy(), va.astype(out_dtype, copy=True)
+
+    rows = np.concatenate([ra, rb])
+    cols = np.concatenate([ca, cb])
+    # Tag the provenance of each tuple so matched pairs apply op(a_val, b_val)
+    # in the correct argument order even after the sort.
+    src = np.empty(rows.size, dtype=np.uint8)
+    src[: ra.size] = 0
+    src[ra.size:] = 1
+    vals = np.concatenate(
+        [va.astype(out_dtype, copy=False), vb.astype(out_dtype, copy=False)]
+    )
+
+    order = np.lexsort((src, cols, rows))
+    rows = rows[order]
+    cols = cols[order]
+    vals = vals[order]
+    src = src[order]
+
+    # Because each input is duplicate-free, any duplicate group has exactly two
+    # members: one from `a` (src=0) followed by one from `b` (src=1).
+    dup_with_next = np.zeros(rows.size, dtype=bool)
+    if rows.size > 1:
+        dup_with_next[:-1] = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+    keep = ~np.roll(dup_with_next, 1) if rows.size else np.ones(0, dtype=bool)
+    if rows.size:
+        keep[0] = True
+
+    if not np.any(dup_with_next):
+        return rows, cols, vals
+
+    matched_first = np.flatnonzero(dup_with_next)
+    combined = op(vals[matched_first], vals[matched_first + 1])
+    out_vals = vals[keep].copy()
+    # Positions of the matched pairs within the kept array.
+    kept_positions = np.cumsum(keep) - 1
+    out_vals[kept_positions[matched_first]] = combined.astype(out_dtype, copy=False)
+    return rows[keep], cols[keep], out_vals
+
+
+def intersect_merge(
+    a: Triple,
+    b: Triple,
+    op: Optional[BinaryOp] = None,
+    out_dtype: Optional[np.dtype] = None,
+) -> Triple:
+    """Element-wise intersection (``eWiseMult``) of two sorted COO sets.
+
+    Only coordinates present in both operands are retained; values combine via
+    ``op`` (default ``times``).
+    """
+    if op is None:
+        op = binary.times
+    ra, ca, va = a
+    rb, cb, vb = b
+    if out_dtype is None:
+        out_dtype = np.promote_types(va.dtype, vb.dtype)
+    empty = (
+        np.empty(0, dtype=INDEX_DTYPE),
+        np.empty(0, dtype=INDEX_DTYPE),
+        np.empty(0, dtype=out_dtype),
+    )
+    if ra.size == 0 or rb.size == 0:
+        return empty
+
+    rows = np.concatenate([ra, rb])
+    cols = np.concatenate([ca, cb])
+    src = np.empty(rows.size, dtype=np.uint8)
+    src[: ra.size] = 0
+    src[ra.size:] = 1
+    vals = np.concatenate(
+        [va.astype(out_dtype, copy=False), vb.astype(out_dtype, copy=False)]
+    )
+    order = np.lexsort((src, cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+
+    dup_with_next = np.zeros(rows.size, dtype=bool)
+    dup_with_next[:-1] = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+    matched_first = np.flatnonzero(dup_with_next)
+    if matched_first.size == 0:
+        return empty
+    combined = op(vals[matched_first], vals[matched_first + 1]).astype(
+        out_dtype, copy=False
+    )
+    if op.bool_result:
+        combined = combined.astype(np.bool_)
+    return rows[matched_first], cols[matched_first], combined
+
+
+def membership_mask(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    other_rows: np.ndarray,
+    other_cols: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask marking which (rows, cols) pairs appear in the other set.
+
+    Both coordinate sets must be sorted lexicographically and duplicate-free.
+    """
+    if rows.size == 0:
+        return np.zeros(0, dtype=bool)
+    if other_rows.size == 0:
+        return np.zeros(rows.size, dtype=bool)
+    all_rows = np.concatenate([rows, other_rows])
+    all_cols = np.concatenate([cols, other_cols])
+    src = np.empty(all_rows.size, dtype=np.uint8)
+    src[: rows.size] = 0
+    src[rows.size:] = 1
+    original_pos = np.concatenate(
+        [np.arange(rows.size, dtype=np.intp), np.zeros(other_rows.size, dtype=np.intp)]
+    )
+    order = np.lexsort((src, all_cols, all_rows))
+    sr, sc, ss = all_rows[order], all_cols[order], src[order]
+    spos = original_pos[order]
+    dup_with_next = np.zeros(sr.size, dtype=bool)
+    dup_with_next[:-1] = (sr[1:] == sr[:-1]) & (sc[1:] == sc[:-1]) & (ss[:-1] == 0) & (
+        ss[1:] == 1
+    )
+    mask = np.zeros(rows.size, dtype=bool)
+    hit = np.flatnonzero(dup_with_next)
+    mask[spos[hit]] = True
+    return mask
+
+
+def difference_mask(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    other_rows: np.ndarray,
+    other_cols: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask marking (rows, cols) pairs *not* present in the other set."""
+    return ~membership_mask(rows, cols, other_rows, other_cols)
+
+
+def search_sorted_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    query_rows: np.ndarray,
+    query_cols: np.ndarray,
+) -> np.ndarray:
+    """Locate query coordinates in a sorted COO set.
+
+    Returns an int64 array of positions; ``-1`` marks coordinates not present.
+    """
+    qr = as_index_array(query_rows, "query rows")
+    qc = as_index_array(query_cols, "query cols")
+    out = np.full(qr.size, -1, dtype=np.int64)
+    if rows.size == 0 or qr.size == 0:
+        return out
+    # Narrow each query to the row's slice, then binary search the columns.
+    row_lo = np.searchsorted(rows, qr, side="left")
+    row_hi = np.searchsorted(rows, qr, side="right")
+    for i in range(qr.size):
+        lo, hi = row_lo[i], row_hi[i]
+        if lo == hi:
+            continue
+        j = lo + np.searchsorted(cols[lo:hi], qc[i], side="left")
+        if j < hi and cols[j] == qc[i]:
+            out[i] = j
+    return out

@@ -1,0 +1,85 @@
+"""GraphBLAS descriptors: modifiers applied to an operation call.
+
+A :class:`Descriptor` bundles the standard GraphBLAS flags — transpose either
+input, complement or use only the structure of the mask, and replace the output
+instead of merging.  Common combinations are pre-built (``T0``, ``T1``,
+``T0T1``, ``C``, ``S``, ``RSC`` ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Descriptor", "descriptor", "NULL_DESCRIPTOR"]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Operation modifiers.
+
+    Attributes
+    ----------
+    transpose_a:
+        Use the transpose of the first input (``GrB_INP0``/``GrB_TRAN``).
+    transpose_b:
+        Use the transpose of the second input (``GrB_INP1``/``GrB_TRAN``).
+    mask_complement:
+        Complement the mask (``GrB_COMP``).
+    mask_structure:
+        Use only the structure (pattern) of the mask, not its values
+        (``GrB_STRUCTURE``).
+    replace:
+        Clear the output object before writing results (``GrB_REPLACE``).
+    """
+
+    transpose_a: bool = False
+    transpose_b: bool = False
+    mask_complement: bool = False
+    mask_structure: bool = False
+    replace: bool = False
+
+    def __or__(self, other: "Descriptor") -> "Descriptor":
+        """Combine two descriptors (union of their flags)."""
+        return Descriptor(
+            transpose_a=self.transpose_a or other.transpose_a,
+            transpose_b=self.transpose_b or other.transpose_b,
+            mask_complement=self.mask_complement or other.mask_complement,
+            mask_structure=self.mask_structure or other.mask_structure,
+            replace=self.replace or other.replace,
+        )
+
+
+NULL_DESCRIPTOR = Descriptor()
+
+_PREBUILT: Dict[str, Descriptor] = {
+    "null": NULL_DESCRIPTOR,
+    "t0": Descriptor(transpose_a=True),
+    "t1": Descriptor(transpose_b=True),
+    "t0t1": Descriptor(transpose_a=True, transpose_b=True),
+    "c": Descriptor(mask_complement=True),
+    "s": Descriptor(mask_structure=True),
+    "sc": Descriptor(mask_structure=True, mask_complement=True),
+    "r": Descriptor(replace=True),
+    "rc": Descriptor(replace=True, mask_complement=True),
+    "rs": Descriptor(replace=True, mask_structure=True),
+    "rsc": Descriptor(replace=True, mask_structure=True, mask_complement=True),
+}
+
+
+class _DescriptorNamespace:
+    """Attribute-style access to pre-built descriptors (``descriptor.t0`` ...)."""
+
+    def __init__(self, registry: Dict[str, Descriptor]):
+        self._registry = registry
+        for key, d in registry.items():
+            setattr(self, key, d)
+
+    def __getitem__(self, name: str) -> Descriptor:
+        return self._registry[name.lower()]
+
+    def __iter__(self):
+        return iter(self._registry.values())
+
+
+descriptor = _DescriptorNamespace(_PREBUILT)

@@ -1,0 +1,80 @@
+"""Masks controlling which output entries an operation may write.
+
+GraphBLAS operations accept an optional mask.  A *structural* mask keeps output
+entries whose coordinates are present in the mask object regardless of value; a
+*value* mask additionally requires the stored value to be truthy.  Either kind
+can be complemented.  These wrappers simply record the masking mode around a
+matrix or vector; the containers interpret them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Mask", "StructuralMask", "ValueMask", "ComplementMask", "resolve_mask"]
+
+
+@dataclass(frozen=True)
+class Mask:
+    """Base mask wrapper.
+
+    Attributes
+    ----------
+    parent:
+        The Matrix or Vector supplying the mask pattern/values.
+    structure:
+        Use only the stored pattern (ignore values).
+    complement:
+        Invert the mask sense.
+    """
+
+    parent: Any
+    structure: bool = False
+    complement: bool = False
+
+    @property
+    def S(self) -> "Mask":
+        """Structural view of this mask (``mask.S`` mirrors python-graphblas)."""
+        return Mask(self.parent, structure=True, complement=self.complement)
+
+    @property
+    def V(self) -> "Mask":
+        """Value view of this mask."""
+        return Mask(self.parent, structure=False, complement=self.complement)
+
+    def __invert__(self) -> "Mask":
+        return Mask(self.parent, structure=self.structure, complement=not self.complement)
+
+
+def StructuralMask(parent) -> Mask:
+    """Convenience constructor for a structural mask over ``parent``."""
+    return Mask(parent, structure=True)
+
+
+def ValueMask(parent) -> Mask:
+    """Convenience constructor for a value mask over ``parent``."""
+    return Mask(parent, structure=False)
+
+
+def ComplementMask(parent, structure: bool = False) -> Mask:
+    """Convenience constructor for a complemented mask over ``parent``."""
+    return Mask(parent, structure=structure, complement=True)
+
+
+def resolve_mask(mask, descriptor=None) -> "Mask | None":
+    """Normalise a user-provided mask argument.
+
+    Accepts ``None``, a :class:`Mask`, or a bare Matrix/Vector (treated as a
+    value mask, the GraphBLAS default).  Descriptor flags (``mask_structure``,
+    ``mask_complement``) are folded in.
+    """
+    if mask is None:
+        return None
+    if not isinstance(mask, Mask):
+        mask = Mask(mask)
+    if descriptor is not None:
+        structure = mask.structure or descriptor.mask_structure
+        complement = mask.complement ^ descriptor.mask_complement
+        mask = Mask(mask.parent, structure=structure, complement=complement)
+    return mask

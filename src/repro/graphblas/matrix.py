@@ -1,0 +1,968 @@
+"""Hypersparse GraphBLAS matrices.
+
+A :class:`Matrix` stores only its nonzero entries as sorted coordinate triples
+(``uint64`` rows, ``uint64`` cols, values), so storage and operation cost are
+proportional to ``nvals`` and never to ``nrows * ncols``.  That is the
+*hypersparse* property required for IP traffic matrices whose logical
+dimensions are :math:`2^{32} \\times 2^{32}` (IPv4) or
+:math:`2^{64} \\times 2^{64}` (IPv6).
+
+The class mirrors the GraphBLAS C API surface used by the paper (build,
+setElement/extractElement, eWiseAdd, eWiseMult, mxm/mxv, reduce, apply, select,
+extract, assign, transpose, kronecker, dup, clear) plus the pending-tuple
+buffering that SuiteSparse uses to make streams of ``setElement`` calls cheap:
+scalar insertions append to an unsorted pending buffer and are merged into the
+sorted representation lazily, exactly the behaviour the hierarchical layering
+in :mod:`repro.core` builds upon.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import _kernels as K
+from .binaryop import BinaryOp, binary
+from .descriptor import NULL_DESCRIPTOR, Descriptor
+from .errors import (
+    DimensionMismatch,
+    EmptyObject,
+    IndexOutOfBound,
+    InvalidValue,
+    NotImplementedException,
+)
+from .mask import Mask, resolve_mask
+from .monoid import Monoid, monoid
+from .select import SelectOp, select_op
+from .semiring import Semiring, semiring
+from .types import BOOL, DataType, lookup_dtype, unify
+
+__all__ = ["Matrix"]
+
+#: Maximum dimension: GraphBLAS "GrB_INDEX_MAX + 1"; full 64-bit index space.
+MAX_DIM = 2 ** 64
+
+_ALL = object()  # sentinel for "all rows/cols" in extract/assign
+
+
+def _check_dim(value: int, name: str) -> int:
+    value = int(value)
+    if value <= 0 or value > MAX_DIM:
+        raise InvalidValue(f"{name} must be in [1, 2**64], got {value}")
+    return value
+
+
+class Matrix:
+    """A hypersparse matrix over a GraphBLAS scalar type.
+
+    Parameters
+    ----------
+    dtype:
+        GraphBLAS type of the stored values (name, NumPy dtype, or DataType).
+    nrows, ncols:
+        Logical dimensions; may be as large as ``2**64``.
+    name:
+        Optional label used in ``repr``.
+
+    Examples
+    --------
+    >>> A = Matrix("fp64", nrows=2**32, ncols=2**32)
+    >>> A.build([1, 2, 2], [10, 20, 20], [1.0, 2.0, 3.0])
+    >>> A.nvals
+    2
+    >>> A[2, 20]
+    5.0
+    """
+
+    __slots__ = (
+        "_nrows",
+        "_ncols",
+        "_dtype",
+        "_rows",
+        "_cols",
+        "_vals",
+        "_pend_rows",
+        "_pend_cols",
+        "_pend_vals",
+        "_pend_count",
+        "name",
+    )
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def __init__(self, dtype="fp64", nrows: int = MAX_DIM, ncols: int = MAX_DIM, *, name: str = ""):
+        self._dtype = lookup_dtype(dtype)
+        self._nrows = _check_dim(nrows, "nrows")
+        self._ncols = _check_dim(ncols, "ncols")
+        self._rows = np.empty(0, dtype=K.INDEX_DTYPE)
+        self._cols = np.empty(0, dtype=K.INDEX_DTYPE)
+        self._vals = np.empty(0, dtype=self._dtype.np_type)
+        self._pend_rows: list = []
+        self._pend_cols: list = []
+        self._pend_vals: list = []
+        self._pend_count = 0
+        self.name = name
+
+    # -- alternate constructors ----------------------------------------- #
+
+    @classmethod
+    def sparse(cls, dtype="fp64", nrows: int = MAX_DIM, ncols: int = MAX_DIM, *, name: str = "") -> "Matrix":
+        """Create an empty hypersparse matrix (alias of the constructor)."""
+        return cls(dtype, nrows, ncols, name=name)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows,
+        cols,
+        values=1,
+        *,
+        dtype=None,
+        nrows: int = MAX_DIM,
+        ncols: int = MAX_DIM,
+        dup_op: Optional[BinaryOp] = None,
+        name: str = "",
+    ) -> "Matrix":
+        """Build a matrix from coordinate triples.
+
+        ``values`` may be an array (one per coordinate) or a scalar broadcast
+        to every coordinate.  Duplicate coordinates are combined with
+        ``dup_op`` (default ``plus``).
+        """
+        r = K.as_index_array(rows, "rows")
+        c = K.as_index_array(cols, "cols")
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            v = np.full(r.size, values)
+        else:
+            v = np.asarray(values)
+        if dtype is not None:
+            v = v.astype(lookup_dtype(dtype).np_type)
+        out = cls(v.dtype if dtype is None else dtype, nrows, ncols, name=name)
+        out.build(r, c, v, dup_op=dup_op)
+        return out
+
+    @classmethod
+    def from_scipy_sparse(cls, sp_matrix, *, dtype=None, name: str = "") -> "Matrix":
+        """Build a matrix from any SciPy sparse matrix/array."""
+        coo = sp_matrix.tocoo()
+        return cls.from_coo(
+            coo.row,
+            coo.col,
+            coo.data,
+            dtype=dtype,
+            nrows=coo.shape[0],
+            ncols=coo.shape[1],
+            name=name,
+        )
+
+    @classmethod
+    def from_dense(cls, array, *, dtype=None, name: str = "") -> "Matrix":
+        """Build a matrix from a dense 2-D array, dropping explicit zeros."""
+        arr = np.asarray(array)
+        if arr.ndim != 2:
+            raise DimensionMismatch(f"from_dense expects a 2-D array, got {arr.ndim}-D")
+        r, c = np.nonzero(arr)
+        return cls.from_coo(
+            r, c, arr[r, c], dtype=dtype, nrows=arr.shape[0], ncols=arr.shape[1], name=name
+        )
+
+    @classmethod
+    def identity(cls, n: int, value=1, *, dtype="fp64", name: str = "") -> "Matrix":
+        """The ``n x n`` identity-pattern matrix with ``value`` on the diagonal."""
+        idx = np.arange(int(n), dtype=np.int64)
+        return cls.from_coo(idx, idx, value, dtype=dtype, nrows=n, ncols=n, name=name)
+
+    def dup(self, *, dtype=None, name: str = "") -> "Matrix":
+        """Deep copy of this matrix (optionally cast to ``dtype``)."""
+        self._wait()
+        target = lookup_dtype(dtype) if dtype is not None else self._dtype
+        out = Matrix(target, self._nrows, self._ncols, name=name or self.name)
+        out._rows = self._rows.copy()
+        out._cols = self._cols.copy()
+        out._vals = self._vals.astype(target.np_type, copy=True)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows in the logical (hypersparse) dimension."""
+        return self._nrows
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns in the logical (hypersparse) dimension."""
+        return self._ncols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self._nrows, self._ncols)
+
+    @property
+    def dtype(self) -> DataType:
+        """The GraphBLAS scalar type of stored values."""
+        return self._dtype
+
+    @property
+    def nvals(self) -> int:
+        """Number of stored entries.  Forces completion of pending updates."""
+        self._wait()
+        return int(self._rows.size)
+
+    #: alias matching the sparse-matrix convention
+    @property
+    def nnz(self) -> int:
+        """Alias of :attr:`nvals`."""
+        return self.nvals
+
+    @property
+    def nvals_upper_bound(self) -> int:
+        """Stored entries plus pending (not yet merged) tuples.
+
+        Unlike :attr:`nvals` this does not force a merge, so it is O(1); the
+        hierarchical cascade uses it to decide cheaply when a layer may need
+        flushing.
+        """
+        return int(self._rows.size) + self._pend_count
+
+    @property
+    def has_pending(self) -> bool:
+        """True when scalar insertions are buffered but not yet merged."""
+        return self._pend_count > 0
+
+    @property
+    def memory_usage(self) -> int:
+        """Approximate bytes used by coordinate and value storage."""
+        pending = sum(
+            a.nbytes for chunk in (self._pend_rows, self._pend_cols, self._pend_vals) for a in chunk
+        )
+        return int(self._rows.nbytes + self._cols.nbytes + self._vals.nbytes + pending)
+
+    @property
+    def T(self) -> "Matrix":
+        """Materialised transpose."""
+        return self.transpose()
+
+    # ------------------------------------------------------------------ #
+    # pending-tuple machinery
+    # ------------------------------------------------------------------ #
+
+    def _wait(self) -> None:
+        """Merge any pending tuples into the sorted representation.
+
+        Mirrors ``GrB_wait``: pending insertions are sorted, duplicate
+        coordinates are collapsed (later insertions win, matching repeated
+        ``setElement`` semantics), and the result is union-merged into the
+        sorted arrays with ``second`` (replace) semantics.
+        """
+        if self._pend_count == 0:
+            return
+        pr = np.concatenate(self._pend_rows)
+        pc = np.concatenate(self._pend_cols)
+        pv = np.concatenate(self._pend_vals).astype(self._dtype.np_type, copy=False)
+        self._pend_rows.clear()
+        self._pend_cols.clear()
+        self._pend_vals.clear()
+        self._pend_count = 0
+        pr, pc, pv = K.sort_coo(pr, pc, pv)
+        pr, pc, pv = K.collapse_duplicates(pr, pc, pv, binary.second)
+        self._rows, self._cols, self._vals = K.union_merge(
+            (self._rows, self._cols, self._vals),
+            (pr, pc, pv),
+            binary.second,
+            out_dtype=self._dtype.np_type,
+        )
+
+    def wait(self) -> "Matrix":
+        """Public ``GrB_wait`` equivalent; returns ``self`` for chaining."""
+        self._wait()
+        return self
+
+    def _check_indices(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        if rows.size != cols.size:
+            raise DimensionMismatch(
+                f"row and column index arrays differ in length ({rows.size} vs {cols.size})"
+            )
+        if rows.size == 0:
+            return
+        if self._nrows < MAX_DIM and rows.max() >= np.uint64(self._nrows):
+            raise IndexOutOfBound(
+                f"row index {int(rows.max())} out of range for nrows={self._nrows}"
+            )
+        if self._ncols < MAX_DIM and cols.max() >= np.uint64(self._ncols):
+            raise IndexOutOfBound(
+                f"column index {int(cols.max())} out of range for ncols={self._ncols}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # element and bulk updates
+    # ------------------------------------------------------------------ #
+
+    def build(self, rows, cols, values=1, *, dup_op: Optional[BinaryOp] = None, clear: bool = False) -> "Matrix":
+        """Insert a batch of coordinate triples.
+
+        Unlike the strict C API (which requires an empty output), ``build`` on a
+        non-empty matrix merges the new entries with ``dup_op`` (default
+        ``plus``), which is exactly the streaming-update usage of the paper.
+        Set ``clear=True`` for the strict replace-all behaviour.
+        """
+        if clear:
+            self.clear()
+        r = K.as_index_array(rows, "rows")
+        c = K.as_index_array(cols, "cols")
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            v = np.full(r.size, values, dtype=self._dtype.np_type)
+        else:
+            v = np.asarray(values).astype(self._dtype.np_type, copy=False)
+        if v.size != r.size:
+            raise DimensionMismatch(
+                f"values length {v.size} does not match index length {r.size}"
+            )
+        self._check_indices(r, c)
+        if dup_op is None:
+            dup_op = binary.plus
+        self._wait()
+        r, c, v = K.sort_coo(r, c, v)
+        r, c, v = K.collapse_duplicates(r, c, v, dup_op)
+        if self._rows.size == 0:
+            self._rows, self._cols, self._vals = r.copy(), c.copy(), v.copy()
+        else:
+            self._rows, self._cols, self._vals = K.union_merge(
+                (self._rows, self._cols, self._vals),
+                (r, c, v),
+                dup_op,
+                out_dtype=self._dtype.np_type,
+            )
+        return self
+
+    def setElement(self, row: int, col: int, value) -> None:
+        """Set a single entry (buffered; merged lazily like SuiteSparse pending tuples)."""
+        r = K.as_index_array([row], "row")
+        c = K.as_index_array([col], "col")
+        self._check_indices(r, c)
+        self._pend_rows.append(r)
+        self._pend_cols.append(c)
+        self._pend_vals.append(np.asarray([value], dtype=self._dtype.np_type))
+        self._pend_count += 1
+
+    __setitem_scalar__ = setElement
+
+    def extractElement(self, row: int, col: int, default=None):
+        """Read a single entry; returns ``default`` when the entry is not stored."""
+        self._wait()
+        pos = K.search_sorted_coo(
+            self._rows, self._cols, np.asarray([row]), np.asarray([col])
+        )[0]
+        if pos < 0:
+            return default
+        return self._vals[pos].item()
+
+    get = extractElement
+
+    def removeElement(self, row: int, col: int) -> bool:
+        """Delete a single entry; returns True if it was present."""
+        self._wait()
+        pos = K.search_sorted_coo(
+            self._rows, self._cols, np.asarray([row]), np.asarray([col])
+        )[0]
+        if pos < 0:
+            return False
+        keep = np.ones(self._rows.size, dtype=bool)
+        keep[pos] = False
+        self._rows = self._rows[keep]
+        self._cols = self._cols[keep]
+        self._vals = self._vals[keep]
+        return True
+
+    def clear(self) -> "Matrix":
+        """Remove every stored entry (dimensions and type are retained)."""
+        self._rows = np.empty(0, dtype=K.INDEX_DTYPE)
+        self._cols = np.empty(0, dtype=K.INDEX_DTYPE)
+        self._vals = np.empty(0, dtype=self._dtype.np_type)
+        self._pend_rows.clear()
+        self._pend_cols.clear()
+        self._pend_vals.clear()
+        self._pend_count = 0
+        return self
+
+    def resize(self, nrows: int, ncols: int) -> "Matrix":
+        """Change the logical dimensions, dropping entries that fall outside."""
+        nrows = _check_dim(nrows, "nrows")
+        ncols = _check_dim(ncols, "ncols")
+        self._wait()
+        if self._rows.size:
+            keep = np.ones(self._rows.size, dtype=bool)
+            if nrows < MAX_DIM:
+                keep &= self._rows < np.uint64(nrows)
+            if ncols < MAX_DIM:
+                keep &= self._cols < np.uint64(ncols)
+            if not np.all(keep):
+                self._rows = self._rows[keep]
+                self._cols = self._cols[keep]
+                self._vals = self._vals[keep]
+        self._nrows = nrows
+        self._ncols = ncols
+        return self
+
+    def update(self, other: "Matrix", accum: Optional[BinaryOp] = None) -> "Matrix":
+        """In-place merge of ``other`` into ``self`` (``self(accum) << other``).
+
+        This is the hierarchical cascade's workhorse: ``A_{i+1}.update(A_i)``
+        performs ``A_{i+1} += A_i`` using the GraphBLAS ``plus`` accumulator by
+        default.
+        """
+        if accum is None:
+            accum = binary.plus
+        if other._nrows != self._nrows or other._ncols != self._ncols:
+            raise DimensionMismatch(
+                f"update requires equal shapes, got {self.shape} and {other.shape}"
+            )
+        self._wait()
+        other._wait()
+        if other._rows.size == 0:
+            return self
+        self._rows, self._cols, self._vals = K.union_merge(
+            (self._rows, self._cols, self._vals),
+            (other._rows, other._cols, other._vals),
+            accum,
+            out_dtype=self._dtype.np_type,
+        )
+        return self
+
+    def extract_tuples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` copies of all stored entries."""
+        self._wait()
+        return self._rows.copy(), self._cols.copy(), self._vals.copy()
+
+    to_coo = extract_tuples
+
+    # ------------------------------------------------------------------ #
+    # element-wise operations
+    # ------------------------------------------------------------------ #
+
+    def _coerce_op(self, op, default) -> BinaryOp:
+        if op is None:
+            return default
+        if isinstance(op, str):
+            return binary[op]
+        if isinstance(op, Monoid):
+            return op.op
+        return op
+
+    def ewise_add(
+        self,
+        other: "Matrix",
+        op: Optional[Union[BinaryOp, Monoid, str]] = None,
+        *,
+        mask=None,
+        desc: Descriptor = NULL_DESCRIPTOR,
+    ) -> "Matrix":
+        """Element-wise union: entries of either operand, combined where both exist."""
+        op = self._coerce_op(op, binary.plus)
+        if other._nrows != self._nrows or other._ncols != self._ncols:
+            raise DimensionMismatch(
+                f"eWiseAdd requires equal shapes, got {self.shape} and {other.shape}"
+            )
+        self._wait()
+        other._wait()
+        out_type = op.output_type(self._dtype, other._dtype)
+        out = Matrix(out_type, self._nrows, self._ncols)
+        r, c, v = K.union_merge(
+            (self._rows, self._cols, self._vals),
+            (other._rows, other._cols, other._vals),
+            op,
+            out_dtype=out_type.np_type,
+        )
+        out._rows, out._cols, out._vals = r, c, v.astype(out_type.np_type, copy=False)
+        return out._apply_mask(mask, desc)
+
+    def ewise_mult(
+        self,
+        other: "Matrix",
+        op: Optional[Union[BinaryOp, Monoid, str]] = None,
+        *,
+        mask=None,
+        desc: Descriptor = NULL_DESCRIPTOR,
+    ) -> "Matrix":
+        """Element-wise intersection: only coordinates present in both operands."""
+        op = self._coerce_op(op, binary.times)
+        if other._nrows != self._nrows or other._ncols != self._ncols:
+            raise DimensionMismatch(
+                f"eWiseMult requires equal shapes, got {self.shape} and {other.shape}"
+            )
+        self._wait()
+        other._wait()
+        out_type = op.output_type(self._dtype, other._dtype)
+        out = Matrix(out_type, self._nrows, self._ncols)
+        r, c, v = K.intersect_merge(
+            (self._rows, self._cols, self._vals),
+            (other._rows, other._cols, other._vals),
+            op,
+            out_dtype=out_type.np_type,
+        )
+        out._rows, out._cols, out._vals = r, c, v.astype(out_type.np_type, copy=False)
+        return out._apply_mask(mask, desc)
+
+    # Operator sugar ----------------------------------------------------- #
+
+    def __add__(self, other: "Matrix") -> "Matrix":
+        return self.ewise_add(other, binary.plus)
+
+    def __iadd__(self, other: "Matrix") -> "Matrix":
+        return self.update(other, binary.plus)
+
+    def __mul__(self, other):
+        if isinstance(other, Matrix):
+            return self.ewise_mult(other, binary.times)
+        return self.apply(binary.times, right=other)
+
+    def __rmul__(self, other):
+        return self.apply(binary.times, left=other)
+
+    def __matmul__(self, other):
+        return self.mxm(other)
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        return self.ewise_add(other.apply("ainv"), binary.plus)
+
+    def __neg__(self) -> "Matrix":
+        return self.apply("ainv")
+
+    # ------------------------------------------------------------------ #
+    # multiplication
+    # ------------------------------------------------------------------ #
+
+    def mxm(
+        self,
+        other: "Matrix",
+        op: Optional[Union[Semiring, str]] = None,
+        *,
+        mask=None,
+        desc: Descriptor = NULL_DESCRIPTOR,
+    ) -> "Matrix":
+        """Matrix-matrix multiply over a semiring (default ``plus_times``).
+
+        The kernel is a fully vectorised sparse join: the inner dimension is
+        matched by binary search, products are materialised with fancy
+        indexing, and duplicates are collapsed with the additive monoid's
+        ``reduceat`` fast path.  Works for arbitrarily large hypersparse
+        dimensions because no dense structure is ever formed.
+        """
+        if op is None:
+            op = semiring.plus_times
+        elif isinstance(op, str):
+            op = semiring[op]
+        A, B = self, other
+        if desc.transpose_a:
+            A = A.transpose()
+        if desc.transpose_b:
+            B = B.transpose()
+        if A._ncols != B._nrows:
+            raise DimensionMismatch(
+                f"mxm inner dimensions differ: {A.shape} @ {B.shape}"
+            )
+        A._wait()
+        B._wait()
+        out_type = op.output_type(A._dtype, B._dtype)
+        out = Matrix(out_type, A._nrows, B._ncols)
+        if A._rows.size == 0 or B._rows.size == 0:
+            return out._apply_mask(mask, desc)
+
+        # Sort A by inner index (its columns); B is already sorted by rows.
+        a_order = np.argsort(A._cols, kind="stable")
+        a_rows = A._rows[a_order]
+        a_inner = A._cols[a_order]
+        a_vals = A._vals[a_order]
+        b_inner = B._rows
+        b_cols = B._cols
+        b_vals = B._vals
+
+        lo = np.searchsorted(b_inner, a_inner, side="left")
+        hi = np.searchsorted(b_inner, a_inner, side="right")
+        counts = (hi - lo).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return out._apply_mask(mask, desc)
+
+        rep = np.repeat(np.arange(a_inner.size, dtype=np.int64), counts)
+        starts = np.repeat(lo.astype(np.int64), counts)
+        prefix = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, counts)
+        b_idx = starts + offsets
+
+        prod_rows = a_rows[rep]
+        prod_cols = b_cols[b_idx]
+        prod_vals = op.multiply(a_vals[rep], b_vals[b_idx]).astype(
+            out_type.np_type, copy=False
+        )
+        prod_rows, prod_cols, prod_vals = K.sort_coo(prod_rows, prod_cols, prod_vals)
+        starts2 = K.group_starts(prod_rows, prod_cols)
+        out._rows = prod_rows[starts2]
+        out._cols = prod_cols[starts2]
+        out._vals = op.add.reduce_groups(prod_vals, starts2).astype(
+            out_type.np_type, copy=False
+        )
+        return out._apply_mask(mask, desc)
+
+    def mxv(self, vector, op: Optional[Union[Semiring, str]] = None, *, mask=None):
+        """Matrix-vector multiply ``A x`` over a semiring (default ``plus_times``)."""
+        from .vector import Vector
+
+        if op is None:
+            op = semiring.plus_times
+        elif isinstance(op, str):
+            op = semiring[op]
+        if vector.size != self._ncols:
+            raise DimensionMismatch(
+                f"mxv requires vector of size {self._ncols}, got {vector.size}"
+            )
+        self._wait()
+        vector._wait()
+        out_type = op.output_type(self._dtype, vector.dtype)
+        out = Vector(out_type, self._nrows)
+        if self._rows.size == 0 or vector.nvals == 0:
+            return out
+        v_idx, v_vals = vector._indices, vector._vals
+        pos = np.searchsorted(v_idx, self._cols)
+        pos_clamped = np.minimum(pos, v_idx.size - 1)
+        hit = v_idx[pos_clamped] == self._cols
+        if not np.any(hit):
+            return out
+        rows = self._rows[hit]
+        prods = op.multiply(self._vals[hit], v_vals[pos_clamped[hit]]).astype(
+            out_type.np_type, copy=False
+        )
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        prods = prods[order]
+        starts = np.flatnonzero(np.concatenate(([True], rows[1:] != rows[:-1])))
+        out._indices = rows[starts]
+        out._vals = op.add.reduce_groups(prods, starts).astype(out_type.np_type, copy=False)
+        return out
+
+    def kronecker(self, other: "Matrix", op: Optional[BinaryOp] = None) -> "Matrix":
+        """Kronecker product with multiplicative operator ``op`` (default ``times``)."""
+        op = self._coerce_op(op, binary.times)
+        self._wait()
+        other._wait()
+        if self._nrows > MAX_DIM // max(other._nrows, 1) or self._ncols > MAX_DIM // max(other._ncols, 1):
+            raise InvalidValue("kronecker result dimensions exceed 2**64")
+        out_type = op.output_type(self._dtype, other._dtype)
+        out = Matrix(out_type, self._nrows * other._nrows, self._ncols * other._ncols)
+        if self._rows.size == 0 or other._rows.size == 0:
+            return out
+        na, nb = self._rows.size, other._rows.size
+        rep_a = np.repeat(np.arange(na), nb)
+        rep_b = np.tile(np.arange(nb), na)
+        rows = self._rows[rep_a] * np.uint64(other._nrows) + other._rows[rep_b]
+        cols = self._cols[rep_a] * np.uint64(other._ncols) + other._cols[rep_b]
+        vals = op(self._vals[rep_a], other._vals[rep_b]).astype(out_type.np_type, copy=False)
+        rows, cols, vals = K.sort_coo(rows, cols, vals)
+        out._rows, out._cols, out._vals = rows, cols, vals
+        return out
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+
+    def reduce_rowwise(self, op: Optional[Union[Monoid, str]] = None):
+        """Reduce each row to a scalar, returning a sparse Vector of length nrows."""
+        from .vector import Vector
+
+        m = monoid[op] if isinstance(op, str) else (op or monoid.plus)
+        self._wait()
+        out = Vector(self._dtype, self._nrows)
+        if self._rows.size == 0:
+            return out
+        starts = np.flatnonzero(
+            np.concatenate(([True], self._rows[1:] != self._rows[:-1]))
+        )
+        out._indices = self._rows[starts]
+        out._vals = m.reduce_groups(self._vals, starts).astype(
+            self._dtype.np_type, copy=False
+        )
+        return out
+
+    def reduce_columnwise(self, op: Optional[Union[Monoid, str]] = None):
+        """Reduce each column to a scalar, returning a sparse Vector of length ncols."""
+        return self.transpose().reduce_rowwise(op)
+
+    def reduce_scalar(self, op: Optional[Union[Monoid, str]] = None):
+        """Reduce every stored value to a single scalar (monoid identity if empty)."""
+        m = monoid[op] if isinstance(op, str) else (op or monoid.plus)
+        self._wait()
+        return m.reduce(self._vals, dtype=self._dtype)
+
+    # ------------------------------------------------------------------ #
+    # apply / select / extract / assign / transpose
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op, *, left=None, right=None, mask=None, desc: Descriptor = NULL_DESCRIPTOR) -> "Matrix":
+        """Apply a unary operator (or a binary operator bound to a scalar) to every value."""
+        from .unaryop import UnaryOp, unary as unary_ns
+
+        self._wait()
+        if isinstance(op, str):
+            op = unary_ns[op] if op in unary_ns else binary[op]
+        if isinstance(op, UnaryOp):
+            out_type = op.output_type(self._dtype)
+            new_vals = op(self._vals)
+        else:  # BinaryOp bound to a scalar on one side
+            if (left is None) == (right is None):
+                raise InvalidValue(
+                    "binary apply requires exactly one of left= or right="
+                )
+            out_type = op.output_type(self._dtype, self._dtype)
+            if left is not None:
+                new_vals = op(np.full(self._vals.size, left), self._vals)
+            else:
+                new_vals = op(self._vals, np.full(self._vals.size, right))
+        out = Matrix(out_type, self._nrows, self._ncols)
+        out._rows = self._rows.copy()
+        out._cols = self._cols.copy()
+        out._vals = np.asarray(new_vals).astype(out_type.np_type, copy=False)
+        return out._apply_mask(mask, desc)
+
+    def select(self, op: Union[SelectOp, str], thunk=None) -> "Matrix":
+        """Keep only the entries satisfying a select operator (``tril``, ``valuegt`` ...)."""
+        if isinstance(op, str):
+            op = select_op[op]
+        self._wait()
+        keep = np.asarray(op(self._rows, self._cols, self._vals, thunk), dtype=bool)
+        out = Matrix(self._dtype, self._nrows, self._ncols)
+        out._rows = self._rows[keep]
+        out._cols = self._cols[keep]
+        out._vals = self._vals[keep]
+        return out
+
+    def extract(self, rows=_ALL, cols=_ALL, *, reindex: bool = True) -> "Matrix":
+        """Extract the submatrix at the given row/column index lists.
+
+        With ``reindex=True`` (GraphBLAS semantics) output coordinates are the
+        positions within the supplied index lists; with ``reindex=False`` the
+        original coordinates are preserved (useful for traffic-matrix slicing).
+        """
+        self._wait()
+        row_sel = None if rows is _ALL else K.as_index_array(rows, "rows")
+        col_sel = None if cols is _ALL else K.as_index_array(cols, "cols")
+
+        keep = np.ones(self._rows.size, dtype=bool)
+        if row_sel is not None:
+            keep &= np.isin(self._rows, row_sel)
+        if col_sel is not None:
+            keep &= np.isin(self._cols, col_sel)
+        r, c, v = self._rows[keep], self._cols[keep], self._vals[keep]
+
+        if not reindex:
+            out = Matrix(self._dtype, self._nrows, self._ncols)
+            out._rows, out._cols, out._vals = r, c, v
+            return out
+
+        if row_sel is not None:
+            out_nrows = max(int(row_sel.size), 1)
+            if r.size:
+                sorter = np.argsort(row_sel, kind="stable")
+                r = sorter[np.searchsorted(row_sel, r, sorter=sorter)].astype(K.INDEX_DTYPE)
+        else:
+            out_nrows = self._nrows
+        if col_sel is not None:
+            out_ncols = max(int(col_sel.size), 1)
+            if c.size:
+                sorter = np.argsort(col_sel, kind="stable")
+                c = sorter[np.searchsorted(col_sel, c, sorter=sorter)].astype(K.INDEX_DTYPE)
+        else:
+            out_ncols = self._ncols
+        out = Matrix(self._dtype, out_nrows, out_ncols)
+        r, c, v = K.sort_coo(r, c, v)
+        out._rows, out._cols, out._vals = r, c, v
+        return out
+
+    def assign(self, value, rows=_ALL, cols=_ALL, *, accum: Optional[BinaryOp] = None) -> "Matrix":
+        """Assign a scalar (or accumulate it) into every position of a row/column block."""
+        self._wait()
+        row_sel = (
+            np.arange(min(self._nrows, 2 ** 20), dtype=np.uint64)
+            if rows is _ALL
+            else K.as_index_array(rows, "rows")
+        )
+        col_sel = (
+            np.arange(min(self._ncols, 2 ** 20), dtype=np.uint64)
+            if cols is _ALL
+            else K.as_index_array(cols, "cols")
+        )
+        if rows is _ALL and self._nrows > 2 ** 20:
+            raise NotImplementedException(
+                "assign to all rows of a hypersparse dimension is not supported; "
+                "pass explicit row indices"
+            )
+        if cols is _ALL and self._ncols > 2 ** 20:
+            raise NotImplementedException(
+                "assign to all columns of a hypersparse dimension is not supported; "
+                "pass explicit column indices"
+            )
+        rr = np.repeat(row_sel, col_sel.size)
+        cc = np.tile(col_sel, row_sel.size)
+        vv = np.full(rr.size, value, dtype=self._dtype.np_type)
+        block = Matrix(self._dtype, self._nrows, self._ncols)
+        block.build(rr, cc, vv, dup_op=binary.second)
+        return self.update(block, accum=accum if accum is not None else binary.second)
+
+    def transpose(self) -> "Matrix":
+        """Materialised transpose (rows and columns exchanged, re-sorted)."""
+        self._wait()
+        out = Matrix(self._dtype, self._ncols, self._nrows)
+        if self._rows.size:
+            r, c, v = K.sort_coo(self._cols.copy(), self._rows.copy(), self._vals.copy())
+            out._rows, out._cols, out._vals = r, c, v
+        return out
+
+    def diag(self):
+        """The main diagonal as a sparse Vector of length min(nrows, ncols)."""
+        from .vector import Vector
+
+        self._wait()
+        out = Vector(self._dtype, min(self._nrows, self._ncols))
+        hit = self._rows == self._cols
+        out._indices = self._rows[hit].copy()
+        out._vals = self._vals[hit].copy()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # masks
+    # ------------------------------------------------------------------ #
+
+    def _apply_mask(self, mask, desc: Descriptor = NULL_DESCRIPTOR) -> "Matrix":
+        """Filter stored entries through a mask (structural or value, possibly complemented)."""
+        mask = resolve_mask(mask, desc)
+        if mask is None:
+            return self
+        parent: "Matrix" = mask.parent
+        parent._wait()
+        self._wait()
+        if mask.structure:
+            m_rows, m_cols = parent._rows, parent._cols
+        else:
+            truthy = parent._vals.astype(bool)
+            m_rows, m_cols = parent._rows[truthy], parent._cols[truthy]
+        member = K.membership_mask(self._rows, self._cols, m_rows, m_cols)
+        if mask.complement:
+            member = ~member
+        self._rows = self._rows[member]
+        self._cols = self._cols[member]
+        self._vals = self._vals[member]
+        return self
+
+    # ------------------------------------------------------------------ #
+    # conversions and comparisons
+    # ------------------------------------------------------------------ #
+
+    def to_scipy_sparse(self, format: str = "csr"):
+        """Convert to a SciPy sparse matrix (dimensions must fit in int64)."""
+        import scipy.sparse as sp
+
+        self._wait()
+        if self._nrows > np.iinfo(np.int64).max or self._ncols > np.iinfo(np.int64).max:
+            raise NotImplementedException(
+                "matrix dimensions exceed SciPy's index range; extract a submatrix first"
+            )
+        coo = sp.coo_matrix(
+            (self._vals, (self._rows.astype(np.int64), self._cols.astype(np.int64))),
+            shape=(self._nrows, self._ncols),
+        )
+        return coo.asformat(format)
+
+    def to_dense(self, fill_value=0) -> np.ndarray:
+        """Convert to a dense ndarray (guarded against blowing up memory)."""
+        self._wait()
+        if self._nrows * self._ncols > 10 ** 8:
+            raise NotImplementedException(
+                f"refusing to densify a {self._nrows} x {self._ncols} matrix"
+            )
+        out = np.full((self._nrows, self._ncols), fill_value, dtype=self._dtype.np_type)
+        out[self._rows.astype(np.int64), self._cols.astype(np.int64)] = self._vals
+        return out
+
+    def isequal(self, other: "Matrix", *, check_dtype: bool = False) -> bool:
+        """Exact equality of pattern and values (and optionally dtype)."""
+        if not isinstance(other, Matrix):
+            return False
+        if self.shape != other.shape:
+            return False
+        if check_dtype and self._dtype is not other._dtype:
+            return False
+        self._wait()
+        other._wait()
+        return (
+            self._rows.size == other._rows.size
+            and bool(np.array_equal(self._rows, other._rows))
+            and bool(np.array_equal(self._cols, other._cols))
+            and bool(np.array_equal(self._vals, other._vals))
+        )
+
+    def isclose(self, other: "Matrix", *, rel_tol: float = 1e-7, abs_tol: float = 0.0) -> bool:
+        """Pattern equality with approximately-equal values."""
+        if not isinstance(other, Matrix) or self.shape != other.shape:
+            return False
+        self._wait()
+        other._wait()
+        if self._rows.size != other._rows.size:
+            return False
+        if not (
+            np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+        ):
+            return False
+        return bool(
+            np.allclose(
+                self._vals.astype(np.float64),
+                other._vals.astype(np.float64),
+                rtol=rel_tol,
+                atol=abs_tol,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # python protocol methods
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple) and len(key) == 2:
+            i, j = key
+            if np.isscalar(i) and np.isscalar(j):
+                return self.extractElement(int(i), int(j))
+            rows = _ALL if (isinstance(i, slice) and i == slice(None)) else i
+            cols = _ALL if (isinstance(j, slice) and j == slice(None)) else j
+            return self.extract(rows, cols)
+        raise TypeError("Matrix indexing requires a (row, col) pair")
+
+    def __setitem__(self, key, value):
+        if isinstance(key, tuple) and len(key) == 2 and np.isscalar(key[0]) and np.isscalar(key[1]):
+            self.setElement(int(key[0]), int(key[1]), value)
+            return
+        raise TypeError("Matrix item assignment requires scalar (row, col) indices")
+
+    def __contains__(self, key) -> bool:
+        if isinstance(key, tuple) and len(key) == 2:
+            return self.extractElement(int(key[0]), int(key[1])) is not None
+        return False
+
+    def __iter__(self) -> Iterator[Tuple[int, int, object]]:
+        self._wait()
+        for i in range(self._rows.size):
+            yield int(self._rows[i]), int(self._cols[i]), self._vals[i].item()
+
+    def __bool__(self) -> bool:
+        return self.nvals > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Matrix{label} {self._nrows}x{self._ncols} {self._dtype.name}, "
+            f"nvals={self.nvals_upper_bound}{'+' if self.has_pending else ''}>"
+        )

@@ -1,0 +1,150 @@
+"""GraphBLAS select operators (``GrB_select`` / ``GxB_SelectOp``).
+
+A :class:`SelectOp` decides, per stored entry, whether that entry survives into
+the output.  Each operator receives the entry coordinates, the values, and an
+optional scalar *thunk*, and returns a boolean keep-mask.  The built-ins cover
+the standard positional operators (``tril``, ``triu``, ``diag``, ``offdiag``,
+row/column comparisons) and the value comparisons (``valuene``, ``valuegt`` ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["SelectOp", "select_op", "SELECT_OPS"]
+
+
+@dataclass(frozen=True)
+class SelectOp:
+    """A predicate over stored entries.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name, e.g. ``"tril"``.
+    func:
+        ``func(rows, cols, vals, thunk) -> bool ndarray`` marking entries kept.
+    needs_thunk:
+        True when the operator requires a scalar thunk argument.
+    """
+
+    name: str
+    func: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray] = field(
+        compare=False
+    )
+    needs_thunk: bool = False
+
+    def __call__(self, rows, cols, vals, thunk=None) -> np.ndarray:
+        return self.func(rows, cols, vals, thunk)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SelectOp({self.name})"
+
+
+def _signed(rows: np.ndarray, cols: np.ndarray, thunk):
+    """Column-minus-row offset as signed integers, guarding uint64 wraparound."""
+    t = 0 if thunk is None else int(thunk)
+    r = rows.astype(np.float64)
+    c = cols.astype(np.float64)
+    return r, c, t
+
+
+_REGISTRY: Dict[str, SelectOp] = {}
+
+
+def _register(op: SelectOp) -> SelectOp:
+    _REGISTRY[op.name] = op
+    return op
+
+
+def _tril(rows, cols, vals, thunk):
+    r, c, t = _signed(rows, cols, thunk)
+    return (c - r) <= t
+
+
+def _triu(rows, cols, vals, thunk):
+    r, c, t = _signed(rows, cols, thunk)
+    return (c - r) >= t
+
+
+def _diag(rows, cols, vals, thunk):
+    r, c, t = _signed(rows, cols, thunk)
+    return (c - r) == t
+
+
+def _offdiag(rows, cols, vals, thunk):
+    r, c, t = _signed(rows, cols, thunk)
+    return (c - r) != t
+
+
+TRIL = _register(SelectOp("tril", _tril))
+TRIU = _register(SelectOp("triu", _triu))
+DIAG = _register(SelectOp("diag", _diag))
+OFFDIAG = _register(SelectOp("offdiag", _offdiag))
+
+ROWLE = _register(
+    SelectOp("rowle", lambda r, c, v, t: r <= np.uint64(int(t)), needs_thunk=True)
+)
+ROWGT = _register(
+    SelectOp("rowgt", lambda r, c, v, t: r > np.uint64(int(t)), needs_thunk=True)
+)
+COLLE = _register(
+    SelectOp("colle", lambda r, c, v, t: c <= np.uint64(int(t)), needs_thunk=True)
+)
+COLGT = _register(
+    SelectOp("colgt", lambda r, c, v, t: c > np.uint64(int(t)), needs_thunk=True)
+)
+
+VALUENE = _register(
+    SelectOp("valuene", lambda r, c, v, t: v != (0 if t is None else t))
+)
+VALUEEQ = _register(
+    SelectOp("valueeq", lambda r, c, v, t: v == (0 if t is None else t))
+)
+VALUEGT = _register(
+    SelectOp("valuegt", lambda r, c, v, t: v > (0 if t is None else t))
+)
+VALUEGE = _register(
+    SelectOp("valuege", lambda r, c, v, t: v >= (0 if t is None else t))
+)
+VALUELT = _register(
+    SelectOp("valuelt", lambda r, c, v, t: v < (0 if t is None else t))
+)
+VALUELE = _register(
+    SelectOp("valuele", lambda r, c, v, t: v <= (0 if t is None else t))
+)
+NONZERO = _register(SelectOp("nonzero", lambda r, c, v, t: v != 0))
+
+SELECT_OPS: Dict[str, SelectOp] = dict(_REGISTRY)
+
+
+class _SelectNamespace:
+    """Attribute-style access to the built-in select operators."""
+
+    def __init__(self, registry: Dict[str, SelectOp]):
+        self._registry = registry
+        for key, op in registry.items():
+            setattr(self, key, op)
+
+    def __getitem__(self, name: str) -> SelectOp:
+        return self._registry[name.lower()]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._registry
+
+    def __iter__(self):
+        return iter(self._registry.values())
+
+    def register(self, name: str, func, needs_thunk: bool = False) -> SelectOp:
+        """Register a user-defined select operator and return it."""
+        op = SelectOp(name.lower(), func, needs_thunk)
+        self._registry[op.name] = op
+        setattr(self, op.name, op)
+        SELECT_OPS[op.name] = op
+        return op
+
+
+select_op = _SelectNamespace(_REGISTRY)

@@ -1,0 +1,113 @@
+"""GraphBLAS semirings: an additive monoid paired with a multiplicative binary op.
+
+Semirings drive matrix-matrix and matrix-vector multiplication.  The registry
+provides the classic algebraic semirings used in graph algorithms:
+``plus_times`` (conventional linear algebra), ``min_plus`` / ``max_plus``
+(shortest/longest paths), ``lor_land`` (reachability), ``plus_pair`` (triangle
+counting), and the ``*_first`` / ``*_second`` selection semirings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .binaryop import BinaryOp, binary
+from .monoid import Monoid, monoid
+from .types import BOOL, DataType, unify
+
+__all__ = ["Semiring", "semiring", "SEMIRINGS"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A GraphBLAS semiring ``(add_monoid, multiply_op)``.
+
+    Attributes
+    ----------
+    name:
+        Canonical name, e.g. ``"plus_times"``.
+    add:
+        The additive :class:`Monoid` used to combine products.
+    multiply:
+        The multiplicative :class:`BinaryOp` applied to matched entries.
+    """
+
+    name: str
+    add: Monoid = field(compare=False)
+    multiply: BinaryOp = field(compare=False)
+
+    def output_type(self, a: DataType, b: DataType) -> DataType:
+        """Result type of multiplying types ``a`` and ``b`` under this semiring."""
+        if self.multiply.bool_result or self.add.op.bool_result:
+            return BOOL
+        return unify(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+_REGISTRY: Dict[str, Semiring] = {}
+
+
+def _register(s: Semiring) -> Semiring:
+    _REGISTRY[s.name] = s
+    return s
+
+
+PLUS_TIMES = _register(Semiring("plus_times", monoid.plus, binary.times))
+PLUS_PLUS = _register(Semiring("plus_plus", monoid.plus, binary.plus))
+PLUS_MIN = _register(Semiring("plus_min", monoid.plus, binary.min))
+PLUS_MAX = _register(Semiring("plus_max", monoid.plus, binary.max))
+PLUS_FIRST = _register(Semiring("plus_first", monoid.plus, binary.first))
+PLUS_SECOND = _register(Semiring("plus_second", monoid.plus, binary.second))
+PLUS_PAIR = _register(Semiring("plus_pair", monoid.plus, binary.pair))
+MIN_PLUS = _register(Semiring("min_plus", monoid.min, binary.plus))
+MIN_TIMES = _register(Semiring("min_times", monoid.min, binary.times))
+MIN_FIRST = _register(Semiring("min_first", monoid.min, binary.first))
+MIN_SECOND = _register(Semiring("min_second", monoid.min, binary.second))
+MIN_MAX = _register(Semiring("min_max", monoid.min, binary.max))
+MAX_PLUS = _register(Semiring("max_plus", monoid.max, binary.plus))
+MAX_TIMES = _register(Semiring("max_times", monoid.max, binary.times))
+MAX_FIRST = _register(Semiring("max_first", monoid.max, binary.first))
+MAX_SECOND = _register(Semiring("max_second", monoid.max, binary.second))
+MAX_MIN = _register(Semiring("max_min", monoid.max, binary.min))
+LOR_LAND = _register(Semiring("lor_land", monoid.lor, binary.land))
+LAND_LOR = _register(Semiring("land_lor", monoid.land, binary.lor))
+LXOR_LAND = _register(Semiring("lxor_land", monoid.lxor, binary.land))
+ANY_PAIR = _register(Semiring("any_pair", monoid.any, binary.pair))
+ANY_FIRST = _register(Semiring("any_first", monoid.any, binary.first))
+ANY_SECOND = _register(Semiring("any_second", monoid.any, binary.second))
+TIMES_TIMES = _register(Semiring("times_times", monoid.times, binary.times))
+TIMES_PLUS = _register(Semiring("times_plus", monoid.times, binary.plus))
+
+SEMIRINGS: Dict[str, Semiring] = dict(_REGISTRY)
+
+
+class _SemiringNamespace:
+    """Attribute-style access to the built-in semirings (``semiring.plus_times`` ...)."""
+
+    def __init__(self, registry: Dict[str, Semiring]):
+        self._registry = registry
+        for key, s in registry.items():
+            setattr(self, key, s)
+
+    def __getitem__(self, name: str) -> Semiring:
+        return self._registry[name.lower()]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._registry
+
+    def __iter__(self):
+        return iter(self._registry.values())
+
+    def register(self, name: str, add: Monoid, multiply: BinaryOp) -> Semiring:
+        """Register a user-defined semiring and return it."""
+        s = Semiring(name.lower(), add, multiply)
+        self._registry[s.name] = s
+        setattr(self, s.name, s)
+        SEMIRINGS[s.name] = s
+        return s
+
+
+semiring = _SemiringNamespace(_REGISTRY)

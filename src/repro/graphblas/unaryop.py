@@ -1,0 +1,137 @@
+"""GraphBLAS unary operators.
+
+A :class:`UnaryOp` is a named, vectorised function of one NumPy array, used by
+``Matrix.apply`` / ``Vector.apply``.  The registry implements the GraphBLAS
+built-ins (identity, additive/multiplicative inverse, absolute value, logical
+not, one) plus the common SuiteSparse math extensions (sqrt, log, exp, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .types import BOOL, DataType, FP64
+
+__all__ = ["UnaryOp", "unary", "UNARY_OPS"]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A unary operator ``z = f(x)`` applied element-wise.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name, e.g. ``"abs"``.
+    func:
+        Vectorised implementation.
+    bool_result:
+        True when the result type is always BOOL.
+    float_result:
+        True when the result type is always FP64 (transcendental functions).
+    """
+
+    name: str
+    func: Callable[[np.ndarray], np.ndarray] = field(compare=False)
+    bool_result: bool = False
+    float_result: bool = False
+
+    def __call__(self, x):
+        return self.func(np.asarray(x))
+
+    def output_type(self, a: DataType) -> DataType:
+        if self.bool_result:
+            return BOOL
+        if self.float_result:
+            return FP64
+        return a
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name})"
+
+
+def _minv(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x)
+    if np.issubdtype(x.dtype, np.integer):
+        with np.errstate(divide="ignore"):
+            return np.where(x == 0, 0, 1 // np.where(x == 0, 1, x))
+    with np.errstate(divide="ignore"):
+        return 1.0 / x
+
+
+def _one(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(np.asarray(x))
+
+
+def _ainv(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x)
+    if x.dtype == np.bool_:
+        return x.copy()
+    if np.issubdtype(x.dtype, np.unsignedinteger):
+        # Two's-complement negation within the unsigned domain, as SuiteSparse does.
+        return (-x.astype(np.int64)).astype(x.dtype)
+    return np.negative(x)
+
+
+_REGISTRY: Dict[str, UnaryOp] = {}
+
+
+def _register(op: UnaryOp) -> UnaryOp:
+    _REGISTRY[op.name] = op
+    return op
+
+
+IDENTITY = _register(UnaryOp("identity", lambda x: np.array(x, copy=True)))
+AINV = _register(UnaryOp("ainv", _ainv))
+MINV = _register(UnaryOp("minv", _minv))
+ABS = _register(UnaryOp("abs", np.abs))
+LNOT = _register(UnaryOp("lnot", np.logical_not, bool_result=True))
+ONE = _register(UnaryOp("one", _one))
+SQRT = _register(UnaryOp("sqrt", lambda x: np.sqrt(x.astype(np.float64)), float_result=True))
+LOG = _register(UnaryOp("log", lambda x: np.log(x.astype(np.float64)), float_result=True))
+LOG2 = _register(UnaryOp("log2", lambda x: np.log2(x.astype(np.float64)), float_result=True))
+LOG10 = _register(UnaryOp("log10", lambda x: np.log10(x.astype(np.float64)), float_result=True))
+LOG1P = _register(UnaryOp("log1p", lambda x: np.log1p(x.astype(np.float64)), float_result=True))
+EXP = _register(UnaryOp("exp", lambda x: np.exp(x.astype(np.float64)), float_result=True))
+SIN = _register(UnaryOp("sin", lambda x: np.sin(x.astype(np.float64)), float_result=True))
+COS = _register(UnaryOp("cos", lambda x: np.cos(x.astype(np.float64)), float_result=True))
+TANH = _register(UnaryOp("tanh", lambda x: np.tanh(x.astype(np.float64)), float_result=True))
+FLOOR = _register(UnaryOp("floor", np.floor))
+CEIL = _register(UnaryOp("ceil", np.ceil))
+ROUND = _register(UnaryOp("round", np.round))
+SIGNUM = _register(UnaryOp("signum", np.sign))
+BNOT = _register(UnaryOp("bnot", np.invert))
+
+UNARY_OPS: Dict[str, UnaryOp] = dict(_REGISTRY)
+
+
+class _UnaryNamespace:
+    """Attribute-style access to the built-in unary operators."""
+
+    def __init__(self, registry: Dict[str, UnaryOp]):
+        self._registry = registry
+        for key, op in registry.items():
+            setattr(self, key, op)
+
+    def __getitem__(self, name: str) -> UnaryOp:
+        return self._registry[name.lower()]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._registry
+
+    def __iter__(self):
+        return iter(self._registry.values())
+
+    def register(self, name: str, func, **kwargs) -> UnaryOp:
+        """Register a user-defined unary operator and return it."""
+        op = UnaryOp(name.lower(), func, **kwargs)
+        self._registry[op.name] = op
+        setattr(self, op.name, op)
+        UNARY_OPS[op.name] = op
+        return op
+
+
+unary = _UnaryNamespace(_REGISTRY)

@@ -1,0 +1,380 @@
+"""Sparse GraphBLAS vectors.
+
+A :class:`Vector` stores only its nonzero entries as sorted ``uint64`` indices
+plus values, so it supports the same hypersparse dimensions as
+:class:`~repro.graphblas.matrix.Matrix` (e.g. a degree vector over the full
+IPv4 address space).  The API mirrors the GraphBLAS vector operations: build,
+setElement/extractElement, eWiseAdd/eWiseMult, apply, select, reduce, and
+vector-matrix multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from . import _kernels as K
+from .binaryop import BinaryOp, binary
+from .errors import DimensionMismatch, IndexOutOfBound, InvalidValue, NotImplementedException
+from .monoid import Monoid, monoid
+from .select import SelectOp, select_op
+from .semiring import Semiring, semiring
+from .types import DataType, lookup_dtype
+
+__all__ = ["Vector"]
+
+MAX_DIM = 2 ** 64
+
+
+class Vector:
+    """A sparse vector over a GraphBLAS scalar type.
+
+    Parameters
+    ----------
+    dtype:
+        GraphBLAS type of stored values.
+    size:
+        Logical length; may be as large as ``2**64``.
+
+    Examples
+    --------
+    >>> v = Vector("int64", size=2**32)
+    >>> v.build([3, 5, 5], [1, 1, 1])
+    >>> v.nvals, v[5]
+    (2, 2)
+    """
+
+    __slots__ = ("_size", "_dtype", "_indices", "_vals", "name")
+
+    def __init__(self, dtype="fp64", size: int = MAX_DIM, *, name: str = ""):
+        self._dtype = lookup_dtype(dtype)
+        size = int(size)
+        if size <= 0 or size > MAX_DIM:
+            raise InvalidValue(f"size must be in [1, 2**64], got {size}")
+        self._size = size
+        self._indices = np.empty(0, dtype=K.INDEX_DTYPE)
+        self._vals = np.empty(0, dtype=self._dtype.np_type)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_coo(cls, indices, values=1, *, dtype=None, size: int = MAX_DIM,
+                 dup_op: Optional[BinaryOp] = None, name: str = "") -> "Vector":
+        """Build a vector from (index, value) pairs; duplicates combine with ``dup_op``."""
+        idx = K.as_index_array(indices, "indices")
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            v = np.full(idx.size, values)
+        else:
+            v = np.asarray(values)
+        if dtype is not None:
+            v = v.astype(lookup_dtype(dtype).np_type)
+        out = cls(v.dtype if dtype is None else dtype, size, name=name)
+        out.build(idx, v, dup_op=dup_op)
+        return out
+
+    @classmethod
+    def from_dense(cls, array, *, dtype=None, name: str = "") -> "Vector":
+        """Build a vector from a dense 1-D array, dropping explicit zeros."""
+        arr = np.asarray(array)
+        if arr.ndim != 1:
+            raise DimensionMismatch("from_dense expects a 1-D array")
+        idx = np.flatnonzero(arr)
+        return cls.from_coo(idx, arr[idx], dtype=dtype, size=arr.size, name=name)
+
+    def dup(self, *, dtype=None, name: str = "") -> "Vector":
+        """Deep copy (optionally cast to ``dtype``)."""
+        target = lookup_dtype(dtype) if dtype is not None else self._dtype
+        out = Vector(target, self._size, name=name or self.name)
+        out._indices = self._indices.copy()
+        out._vals = self._vals.astype(target.np_type, copy=True)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Logical length of the vector."""
+        return self._size
+
+    @property
+    def dtype(self) -> DataType:
+        """The GraphBLAS scalar type of stored values."""
+        return self._dtype
+
+    @property
+    def nvals(self) -> int:
+        """Number of stored entries."""
+        return int(self._indices.size)
+
+    @property
+    def memory_usage(self) -> int:
+        """Approximate bytes used by index and value storage."""
+        return int(self._indices.nbytes + self._vals.nbytes)
+
+    def _wait(self) -> None:
+        """No-op (vectors do not buffer pending tuples); kept for API symmetry."""
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def _check_indices(self, idx: np.ndarray) -> None:
+        if idx.size and self._size < MAX_DIM and idx.max() >= np.uint64(self._size):
+            raise IndexOutOfBound(
+                f"index {int(idx.max())} out of range for size={self._size}"
+            )
+
+    def build(self, indices, values=1, *, dup_op: Optional[BinaryOp] = None,
+              clear: bool = False) -> "Vector":
+        """Insert a batch of (index, value) pairs, merging with ``dup_op`` (default plus)."""
+        if clear:
+            self.clear()
+        idx = K.as_index_array(indices, "indices")
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            v = np.full(idx.size, values, dtype=self._dtype.np_type)
+        else:
+            v = np.asarray(values).astype(self._dtype.np_type, copy=False)
+        if v.size != idx.size:
+            raise DimensionMismatch(
+                f"values length {v.size} does not match index length {idx.size}"
+            )
+        self._check_indices(idx)
+        if dup_op is None:
+            dup_op = binary.plus
+        order = np.argsort(idx, kind="stable")
+        idx, v = idx[order], v[order]
+        # Collapse duplicates within the batch.
+        zeros = np.zeros(idx.size, dtype=K.INDEX_DTYPE)
+        idx, _, v = K.collapse_duplicates(idx, zeros, v, dup_op)
+        if self._indices.size == 0:
+            self._indices, self._vals = idx.copy(), v.copy()
+        else:
+            i, _, vv = K.union_merge(
+                (self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals),
+                (idx, np.zeros(idx.size, dtype=K.INDEX_DTYPE), v),
+                dup_op,
+                out_dtype=self._dtype.np_type,
+            )
+            self._indices, self._vals = i, vv
+        return self
+
+    def setElement(self, index: int, value) -> None:
+        """Set a single entry (replaces any existing value)."""
+        self.build([index], [value], dup_op=binary.second)
+
+    def extractElement(self, index: int, default=None):
+        """Read a single entry; ``default`` when not stored."""
+        pos = np.searchsorted(self._indices, np.uint64(int(index)))
+        if pos < self._indices.size and self._indices[pos] == np.uint64(int(index)):
+            return self._vals[pos].item()
+        return default
+
+    get = extractElement
+
+    def removeElement(self, index: int) -> bool:
+        """Delete a single entry; returns True if it was present."""
+        pos = np.searchsorted(self._indices, np.uint64(int(index)))
+        if pos < self._indices.size and self._indices[pos] == np.uint64(int(index)):
+            keep = np.ones(self._indices.size, dtype=bool)
+            keep[pos] = False
+            self._indices = self._indices[keep]
+            self._vals = self._vals[keep]
+            return True
+        return False
+
+    def clear(self) -> "Vector":
+        """Remove every stored entry."""
+        self._indices = np.empty(0, dtype=K.INDEX_DTYPE)
+        self._vals = np.empty(0, dtype=self._dtype.np_type)
+        return self
+
+    def resize(self, size: int) -> "Vector":
+        """Change the logical length, dropping entries that fall outside."""
+        size = int(size)
+        if size <= 0 or size > MAX_DIM:
+            raise InvalidValue(f"size must be in [1, 2**64], got {size}")
+        if self._indices.size and size < MAX_DIM:
+            keep = self._indices < np.uint64(size)
+            self._indices = self._indices[keep]
+            self._vals = self._vals[keep]
+        self._size = size
+        return self
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, values)`` copies of all stored entries."""
+        return self._indices.copy(), self._vals.copy()
+
+    extract_tuples = to_coo
+
+    # ------------------------------------------------------------------ #
+    # element-wise operations
+    # ------------------------------------------------------------------ #
+
+    def _coerce_op(self, op, default) -> BinaryOp:
+        if op is None:
+            return default
+        if isinstance(op, str):
+            return binary[op]
+        if isinstance(op, Monoid):
+            return op.op
+        return op
+
+    def ewise_add(self, other: "Vector", op=None) -> "Vector":
+        """Element-wise union of two vectors."""
+        op = self._coerce_op(op, binary.plus)
+        if other._size != self._size:
+            raise DimensionMismatch(
+                f"eWiseAdd requires equal sizes, got {self._size} and {other._size}"
+            )
+        out_type = op.output_type(self._dtype, other._dtype)
+        out = Vector(out_type, self._size)
+        i, _, v = K.union_merge(
+            (self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals),
+            (other._indices, np.zeros(other._indices.size, dtype=K.INDEX_DTYPE), other._vals),
+            op,
+            out_dtype=out_type.np_type,
+        )
+        out._indices, out._vals = i, v.astype(out_type.np_type, copy=False)
+        return out
+
+    def ewise_mult(self, other: "Vector", op=None) -> "Vector":
+        """Element-wise intersection of two vectors."""
+        op = self._coerce_op(op, binary.times)
+        if other._size != self._size:
+            raise DimensionMismatch(
+                f"eWiseMult requires equal sizes, got {self._size} and {other._size}"
+            )
+        out_type = op.output_type(self._dtype, other._dtype)
+        out = Vector(out_type, self._size)
+        i, _, v = K.intersect_merge(
+            (self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals),
+            (other._indices, np.zeros(other._indices.size, dtype=K.INDEX_DTYPE), other._vals),
+            op,
+            out_dtype=out_type.np_type,
+        )
+        out._indices, out._vals = i, v.astype(out_type.np_type, copy=False)
+        return out
+
+    def __add__(self, other: "Vector") -> "Vector":
+        return self.ewise_add(other, binary.plus)
+
+    def __mul__(self, other):
+        if isinstance(other, Vector):
+            return self.ewise_mult(other, binary.times)
+        return self.apply(binary.times, right=other)
+
+    # ------------------------------------------------------------------ #
+    # apply / select / reduce / multiply
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op, *, left=None, right=None) -> "Vector":
+        """Apply a unary operator (or binary bound to a scalar) to every value."""
+        from .unaryop import UnaryOp, unary as unary_ns
+
+        if isinstance(op, str):
+            op = unary_ns[op] if op in unary_ns else binary[op]
+        if isinstance(op, UnaryOp):
+            out_type = op.output_type(self._dtype)
+            new_vals = op(self._vals)
+        else:
+            if (left is None) == (right is None):
+                raise InvalidValue("binary apply requires exactly one of left= or right=")
+            out_type = op.output_type(self._dtype, self._dtype)
+            if left is not None:
+                new_vals = op(np.full(self._vals.size, left), self._vals)
+            else:
+                new_vals = op(self._vals, np.full(self._vals.size, right))
+        out = Vector(out_type, self._size)
+        out._indices = self._indices.copy()
+        out._vals = np.asarray(new_vals).astype(out_type.np_type, copy=False)
+        return out
+
+    def select(self, op: Union[SelectOp, str], thunk=None) -> "Vector":
+        """Keep only the entries satisfying a select operator."""
+        if isinstance(op, str):
+            op = select_op[op]
+        keep = np.asarray(
+            op(self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals, thunk),
+            dtype=bool,
+        )
+        out = Vector(self._dtype, self._size)
+        out._indices = self._indices[keep]
+        out._vals = self._vals[keep]
+        return out
+
+    def reduce(self, op: Optional[Union[Monoid, str]] = None):
+        """Reduce every stored value to a scalar (monoid identity if empty)."""
+        m = monoid[op] if isinstance(op, str) else (op or monoid.plus)
+        return m.reduce(self._vals, dtype=self._dtype)
+
+    def vxm(self, matrix, op: Optional[Union[Semiring, str]] = None) -> "Vector":
+        """Vector-matrix multiply ``x^T A`` over a semiring (default ``plus_times``)."""
+        return matrix.transpose().mxv(self, op)
+
+    def to_dense(self, fill_value=0) -> np.ndarray:
+        """Convert to a dense ndarray (guarded against huge logical sizes)."""
+        if self._size > 10 ** 8:
+            raise NotImplementedException(
+                f"refusing to densify a vector of logical size {self._size}"
+            )
+        out = np.full(self._size, fill_value, dtype=self._dtype.np_type)
+        out[self._indices.astype(np.int64)] = self._vals
+        return out
+
+    def isequal(self, other: "Vector", *, check_dtype: bool = False) -> bool:
+        """Exact equality of pattern and values."""
+        if not isinstance(other, Vector) or self._size != other._size:
+            return False
+        if check_dtype and self._dtype is not other._dtype:
+            return False
+        return bool(
+            np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._vals, other._vals)
+        )
+
+    def isclose(self, other: "Vector", *, rel_tol: float = 1e-7, abs_tol: float = 0.0) -> bool:
+        """Pattern equality with approximately-equal values."""
+        if not isinstance(other, Vector) or self._size != other._size:
+            return False
+        if not np.array_equal(self._indices, other._indices):
+            return False
+        return bool(
+            np.allclose(
+                self._vals.astype(np.float64),
+                other._vals.astype(np.float64),
+                rtol=rel_tol,
+                atol=abs_tol,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # python protocol
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, index):
+        if np.isscalar(index):
+            return self.extractElement(int(index))
+        raise TypeError("Vector indexing requires a scalar index")
+
+    def __setitem__(self, index, value):
+        self.setElement(int(index), value)
+
+    def __contains__(self, index) -> bool:
+        return self.extractElement(int(index)) is not None
+
+    def __iter__(self) -> Iterator[Tuple[int, object]]:
+        for i in range(self._indices.size):
+            yield int(self._indices[i]), self._vals[i].item()
+
+    def __bool__(self) -> bool:
+        return self.nvals > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Vector{label} size={self._size} {self._dtype.name}, nvals={self.nvals}>"

@@ -1,0 +1,18 @@
+"""Memory-hierarchy model and ingest cost model.
+
+Used by the "memory pressure" ablation benchmark to quantify the paper's
+architectural claim that hierarchical hypersparse matrices keep the vast
+majority of element writes in fast memory.
+"""
+
+from .cost_model import BYTES_PER_ENTRY, CostModel, TrafficEstimate
+from .hierarchy import MemoryHierarchy, MemoryLevel, default_hierarchy
+
+__all__ = [
+    "MemoryLevel",
+    "MemoryHierarchy",
+    "default_hierarchy",
+    "CostModel",
+    "TrafficEstimate",
+    "BYTES_PER_ENTRY",
+]

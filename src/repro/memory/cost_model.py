@@ -1,0 +1,199 @@
+"""Memory-traffic cost model for flat versus hierarchical ingest.
+
+The model answers the paper's architectural question quantitatively: for a
+given stream (total updates, batch size) and a given hierarchical
+configuration (cuts), how many element-writes land in each level of the memory
+hierarchy, and what is the estimated time spent moving data?
+
+Two inputs are supported:
+
+* *analytic* — closed-form counts derived from the cascade structure (every
+  ``c_i / c_{i-1}`` cascades of layer ``i-1`` produce one write of ``c_i``
+  elements into layer ``i``), useful for parameter sweeps without running
+  anything; and
+* *measured* — the :class:`~repro.core.stats.UpdateStats` recorded by an
+  actual ingest, mapped onto the hierarchy by each layer's working-set size.
+
+Both express the headline comparison: the flat baseline rewrites its entire
+(large, DRAM-resident) matrix on every batch, while the hierarchy performs the
+vast majority of its element-writes in cache-sized layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.stats import UpdateStats
+from .hierarchy import MemoryHierarchy, default_hierarchy
+
+__all__ = ["TrafficEstimate", "CostModel"]
+
+#: Bytes per stored entry: two uint64 coordinates plus one float64 value.
+BYTES_PER_ENTRY = 24
+
+
+@dataclass
+class TrafficEstimate:
+    """Estimated memory traffic of one ingest strategy.
+
+    Attributes
+    ----------
+    strategy:
+        ``"flat"`` or ``"hierarchical"``.
+    writes_per_level:
+        Element-writes attributed to each memory-hierarchy level
+        (same order as the hierarchy, fastest first).
+    bytes_per_level:
+        The same traffic expressed in bytes.
+    estimated_seconds:
+        Bandwidth-model estimate of the time spent on this traffic.
+    slow_fraction:
+        Fraction of element-writes that hit the slowest level.
+    """
+
+    strategy: str
+    writes_per_level: List[int]
+    bytes_per_level: List[int]
+    estimated_seconds: float
+    slow_fraction: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for tabular reports."""
+        return {
+            "strategy": self.strategy,
+            "writes_per_level": list(self.writes_per_level),
+            "bytes_per_level": list(self.bytes_per_level),
+            "estimated_seconds": self.estimated_seconds,
+            "slow_fraction": self.slow_fraction,
+        }
+
+
+class CostModel:
+    """Maps ingest write-counts onto a memory hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The machine model (default: :func:`~repro.memory.hierarchy.default_hierarchy`).
+    bytes_per_entry:
+        Storage cost of one matrix entry (default 24 bytes: row, col, value).
+    """
+
+    def __init__(self, hierarchy: Optional[MemoryHierarchy] = None, *, bytes_per_entry: int = BYTES_PER_ENTRY):
+        self.hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
+        self.bytes_per_entry = int(bytes_per_entry)
+
+    # ------------------------------------------------------------------ #
+    # analytic counts
+    # ------------------------------------------------------------------ #
+
+    def flat_write_counts(self, total_updates: int, batch_size: int, *, distinct_fraction: float = 1.0) -> int:
+        """Element-writes of the flat strategy.
+
+        Batch ``k`` merges ``batch_size`` new entries into an accumulated
+        matrix of roughly ``k * batch_size * distinct_fraction`` entries and
+        rewrites all of it, so total writes grow quadratically in the number of
+        batches.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        nbatches = max(int(total_updates // batch_size), 1)
+        k = np.arange(1, nbatches + 1, dtype=np.float64)
+        accumulated = k * batch_size * distinct_fraction
+        return int(np.sum(accumulated))
+
+    def hierarchical_write_counts(
+        self, total_updates: int, batch_size: int, cuts: Sequence[int], *, distinct_fraction: float = 1.0
+    ) -> List[int]:
+        """Element-writes per layer for a hierarchy with the given cuts.
+
+        Layer 1 absorbs every raw update (re-merging its working set, bounded
+        by ``c_1``); layer ``i`` receives one merge of ``~c_{i-1}`` entries each
+        time layer ``i-1`` overflows, and re-merges its own working set
+        (bounded by ``c_i``); the unbounded last layer grows towards the number
+        of distinct entries.
+        """
+        cuts = [int(c) for c in cuts]
+        nlevels = len(cuts) + 1
+        writes = [0] * nlevels
+        nbatches = max(int(total_updates // batch_size), 1)
+        # Layer 1: each batch merges into a working set bounded by c_1.
+        writes[0] = int(nbatches * min(cuts[0], batch_size * distinct_fraction + cuts[0] / 2))
+        # Intermediate layers: overflows of the previous layer.
+        spill_events = nbatches  # how many times the previous layer spills
+        for i in range(1, nlevels):
+            prev_cut = cuts[i - 1]
+            spill_events = int(total_updates * distinct_fraction // max(prev_cut, 1))
+            if spill_events == 0:
+                break
+            if i < nlevels - 1:
+                working = min(cuts[i], total_updates * distinct_fraction)
+            else:
+                working = total_updates * distinct_fraction
+            # Each spill merges prev_cut new entries into a working set of ~working/2 average.
+            writes[i] = int(spill_events * (prev_cut + working / 2))
+        return writes
+
+    # ------------------------------------------------------------------ #
+    # mapping onto the hierarchy
+    # ------------------------------------------------------------------ #
+
+    def _attribute(self, writes_per_layer: Sequence[int], layer_working_sets: Sequence[int]) -> TrafficEstimate:
+        nlevels_mem = len(self.hierarchy)
+        writes_per_level = [0] * nlevels_mem
+        for writes, working_set in zip(writes_per_layer, layer_working_sets):
+            level_idx = self.hierarchy.level_index_for(working_set * self.bytes_per_entry)
+            writes_per_level[level_idx] += int(writes)
+        bytes_per_level = [w * self.bytes_per_entry for w in writes_per_level]
+        seconds = sum(
+            self.hierarchy[i].transfer_seconds(b) for i, b in enumerate(bytes_per_level)
+        )
+        total_writes = sum(writes_per_level)
+        slow = writes_per_level[-1] / total_writes if total_writes else 0.0
+        return TrafficEstimate(
+            strategy="",
+            writes_per_level=writes_per_level,
+            bytes_per_level=bytes_per_level,
+            estimated_seconds=seconds,
+            slow_fraction=slow,
+        )
+
+    def estimate_flat(self, total_updates: int, batch_size: int, *, distinct_fraction: float = 1.0) -> TrafficEstimate:
+        """Traffic estimate for the flat strategy (whole matrix lives in slow memory)."""
+        writes = self.flat_write_counts(total_updates, batch_size, distinct_fraction=distinct_fraction)
+        working_set = int(total_updates * distinct_fraction)
+        est = self._attribute([writes], [working_set])
+        est.strategy = "flat"
+        return est
+
+    def estimate_hierarchical(
+        self, total_updates: int, batch_size: int, cuts: Sequence[int], *, distinct_fraction: float = 1.0
+    ) -> TrafficEstimate:
+        """Traffic estimate for a hierarchy with the given cuts."""
+        writes = self.hierarchical_write_counts(
+            total_updates, batch_size, cuts, distinct_fraction=distinct_fraction
+        )
+        working_sets = [int(c) for c in cuts] + [int(total_updates * distinct_fraction)]
+        est = self._attribute(writes, working_sets)
+        est.strategy = "hierarchical"
+        return est
+
+    def estimate_from_stats(self, stats: UpdateStats, cuts: Sequence[int], *, total_distinct: Optional[int] = None) -> TrafficEstimate:
+        """Traffic estimate from measured :class:`UpdateStats` of a real ingest."""
+        working_sets = [int(c) for c in cuts] + [
+            int(total_distinct if total_distinct is not None else stats.total_updates)
+        ]
+        est = self._attribute(stats.element_writes, working_sets)
+        est.strategy = "hierarchical(measured)"
+        return est
+
+    def speedup_estimate(self, total_updates: int, batch_size: int, cuts: Sequence[int], *, distinct_fraction: float = 1.0) -> float:
+        """Ratio of estimated flat time to estimated hierarchical time (> 1 means the hierarchy wins)."""
+        flat = self.estimate_flat(total_updates, batch_size, distinct_fraction=distinct_fraction)
+        hier = self.estimate_hierarchical(total_updates, batch_size, cuts, distinct_fraction=distinct_fraction)
+        if hier.estimated_seconds <= 0:
+            return float("inf")
+        return flat.estimated_seconds / hier.estimated_seconds

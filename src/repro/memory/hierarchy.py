@@ -1,0 +1,143 @@
+"""A model of the machine's memory hierarchy.
+
+The paper's argument is architectural: "streaming updates of hypersparse
+matrices put enormous pressure on the memory hierarchy", and the hierarchical
+layering keeps most updates in fast memory.  To make that argument measurable
+without hardware counters, this module models a memory hierarchy as a list of
+levels (capacity, bandwidth, latency) and maps data structures to the smallest
+level they fit in.  The cost model in :mod:`repro.memory.cost_model` combines
+this with the per-layer write counts recorded by
+:class:`~repro.core.stats.UpdateStats` to estimate the memory traffic of flat
+versus hierarchical ingest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["MemoryLevel", "MemoryHierarchy", "default_hierarchy"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("L2", "DRAM", ...).
+    capacity_bytes:
+        Usable capacity of the level.
+    bandwidth_gbps:
+        Sustained bandwidth in GiB/s for streaming access.
+    latency_ns:
+        Access latency for a dependent (random) access in nanoseconds.
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth_gbps: float
+    latency_ns: float
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to stream ``nbytes`` through this level."""
+        return nbytes / (self.bandwidth_gbps * 2 ** 30)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryLevel({self.name}, {self.capacity_bytes / 2**20:.1f} MiB, "
+            f"{self.bandwidth_gbps} GiB/s, {self.latency_ns} ns)"
+        )
+
+
+class MemoryHierarchy:
+    """An ordered list of memory levels, fastest (smallest) first.
+
+    Examples
+    --------
+    >>> h = default_hierarchy()
+    >>> h.level_for(16 * 1024).name
+    'L1'
+    >>> h.level_for(10 * 2**30).name
+    'DRAM'
+    """
+
+    def __init__(self, levels: Sequence[MemoryLevel]):
+        if not levels:
+            raise ValueError("a memory hierarchy needs at least one level")
+        caps = [lvl.capacity_bytes for lvl in levels]
+        if any(b < a for a, b in zip(caps, caps[1:])):
+            raise ValueError("levels must be ordered from smallest to largest capacity")
+        self._levels = list(levels)
+
+    @property
+    def levels(self) -> List[MemoryLevel]:
+        """The levels, fastest first."""
+        return list(self._levels)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def __getitem__(self, index: int) -> MemoryLevel:
+        return self._levels[index]
+
+    @property
+    def fastest(self) -> MemoryLevel:
+        """The first (fastest) level."""
+        return self._levels[0]
+
+    @property
+    def slowest(self) -> MemoryLevel:
+        """The last (slowest) level."""
+        return self._levels[-1]
+
+    def level_for(self, working_set_bytes: int) -> MemoryLevel:
+        """The fastest level whose capacity holds ``working_set_bytes``.
+
+        Working sets larger than every level map to the slowest level (i.e.
+        they spill to it).
+        """
+        for level in self._levels:
+            if working_set_bytes <= level.capacity_bytes:
+                return level
+        return self._levels[-1]
+
+    def level_index_for(self, working_set_bytes: int) -> int:
+        """Index of :meth:`level_for` within the hierarchy."""
+        for i, level in enumerate(self._levels):
+            if working_set_bytes <= level.capacity_bytes:
+                return i
+        return len(self._levels) - 1
+
+    def access_seconds(self, working_set_bytes: int, nbytes_touched: int, *, random: bool = False) -> float:
+        """Estimated time to touch ``nbytes_touched`` of a working set of the given size.
+
+        Streaming access is bandwidth-bound; random access pays the level's
+        latency once per 64-byte cache line touched.
+        """
+        level = self.level_for(working_set_bytes)
+        if random:
+            lines = max(nbytes_touched // 64, 1)
+            return lines * level.latency_ns * 1e-9
+        return level.transfer_seconds(nbytes_touched)
+
+
+def default_hierarchy() -> MemoryHierarchy:
+    """A generic contemporary server-node hierarchy (Xeon-class, as on the MIT SuperCloud).
+
+    Capacities and speeds are round numbers typical of the 2019-2020 Intel
+    Xeon Platinum nodes the paper used; the cost model only depends on their
+    relative magnitudes.
+    """
+    return MemoryHierarchy(
+        [
+            MemoryLevel("L1", 32 * 2 ** 10, 1600.0, 1.2),
+            MemoryLevel("L2", 1 * 2 ** 20, 800.0, 4.0),
+            MemoryLevel("L3", 32 * 2 ** 20, 400.0, 14.0),
+            MemoryLevel("DRAM", 192 * 2 ** 30, 90.0, 90.0),
+        ]
+    )

@@ -1,0 +1,47 @@
+"""Workload generators and streaming utilities.
+
+Provides the paper's power-law edge stream (:func:`paper_stream`), Graph500
+Kronecker graphs, synthetic IP packet traffic with supernodes, the
+origin-destination :class:`TrafficMatrixBuilder`, and the
+:class:`IngestSession` harness every benchmark uses to measure updates/second
+identically across systems.
+"""
+
+from .powerlaw import (
+    EdgeBatch,
+    degree_distribution,
+    kronecker_edges,
+    paper_stream,
+    powerlaw_edges,
+)
+from .stream import IngestResult, IngestSession, RateMeter, batched
+from .traffic import (
+    PacketBatch,
+    TrafficMatrixBuilder,
+    int_to_ipv4,
+    int_to_ipv6,
+    ipv4_to_int,
+    ipv6_to_int,
+    subnet_of,
+    synthetic_packets,
+)
+
+__all__ = [
+    "EdgeBatch",
+    "powerlaw_edges",
+    "kronecker_edges",
+    "paper_stream",
+    "degree_distribution",
+    "PacketBatch",
+    "synthetic_packets",
+    "TrafficMatrixBuilder",
+    "ipv4_to_int",
+    "int_to_ipv4",
+    "ipv6_to_int",
+    "int_to_ipv6",
+    "subnet_of",
+    "IngestSession",
+    "IngestResult",
+    "RateMeter",
+    "batched",
+]

@@ -1,0 +1,211 @@
+"""Streaming utilities: batching, rate measurement, and ingest sessions.
+
+The benchmark harness measures "updates per second" the way the paper does:
+total element updates divided by the wall-clock time spent updating, for any
+object exposing an ``update(rows, cols, values)`` method (hierarchical
+matrices, flat matrices, D4M baselines, database emulations).  The
+:class:`IngestSession` wraps that protocol so every system is measured
+identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+__all__ = ["batched", "RateMeter", "IngestResult", "IngestSession", "Ingestor"]
+
+
+class Ingestor(Protocol):
+    """Anything that can absorb a batch of coordinate updates."""
+
+    def update(self, rows, cols, values=1) -> object:  # pragma: no cover - protocol
+        ...
+
+
+def batched(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    *,
+    batch_size: int,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Split coordinate arrays into contiguous batches of ``batch_size``.
+
+    The last batch may be smaller.  Views (not copies) are yielded.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    n = rows.size
+    if values is None:
+        values = np.ones(n, dtype=np.float64)
+    for start in range(0, n, batch_size):
+        stop = min(start + batch_size, n)
+        yield rows[start:stop], cols[start:stop], values[start:stop]
+
+
+class RateMeter:
+    """Accumulates (updates, seconds) observations and reports rates."""
+
+    def __init__(self) -> None:
+        self._updates = 0
+        self._seconds = 0.0
+        self._samples: List[Tuple[int, float]] = []
+
+    def record(self, nupdates: int, seconds: float) -> None:
+        """Add one observation."""
+        self._updates += int(nupdates)
+        self._seconds += float(seconds)
+        self._samples.append((int(nupdates), float(seconds)))
+
+    @property
+    def total_updates(self) -> int:
+        """Total updates across all observations."""
+        return self._updates
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock seconds across all observations."""
+        return self._seconds
+
+    @property
+    def updates_per_second(self) -> float:
+        """Aggregate updates per second (0.0 before any time has elapsed)."""
+        if self._seconds <= 0:
+            return 0.0
+        return self._updates / self._seconds
+
+    @property
+    def per_batch_rates(self) -> List[float]:
+        """Updates/second of each individual observation."""
+        return [n / s if s > 0 else 0.0 for n, s in self._samples]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RateMeter(updates={self._updates}, seconds={self._seconds:.3f}, "
+            f"rate={self.updates_per_second:,.0f}/s)"
+        )
+
+
+@dataclass
+class IngestResult:
+    """Outcome of one ingest session.
+
+    Attributes
+    ----------
+    system:
+        Label of the system under test (e.g. ``"hierarchical-graphblas"``).
+    total_updates:
+        Number of element updates streamed.
+    elapsed_seconds:
+        Wall-clock time spent inside ``update`` calls.
+    updates_per_second:
+        ``total_updates / elapsed_seconds``.
+    batches:
+        Number of batches streamed.
+    metadata:
+        Free-form extra information (cut values, layer sizes, ...).
+    """
+
+    system: str
+    total_updates: int
+    elapsed_seconds: float
+    updates_per_second: float
+    batches: int
+    metadata: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        """Flat dict convenient for tabular reports."""
+        row = {
+            "system": self.system,
+            "total_updates": self.total_updates,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "updates_per_second": round(self.updates_per_second, 1),
+            "batches": self.batches,
+        }
+        row.update({k: v for k, v in self.metadata.items() if np.isscalar(v)})
+        return row
+
+
+class IngestSession:
+    """Streams batches into any :class:`Ingestor` and measures the update rate.
+
+    Parameters
+    ----------
+    ingestor:
+        The system under test.
+    system:
+        Label recorded in the result.
+
+    Examples
+    --------
+    >>> from repro.core import HierarchicalMatrix
+    >>> from repro.workloads import paper_stream
+    >>> session = IngestSession(HierarchicalMatrix(cuts=[1000, 100000]), "hier")
+    >>> result = session.run(paper_stream(scale=0.0001))
+    >>> result.total_updates
+    10000
+    """
+
+    def __init__(self, ingestor: Ingestor, system: str = "unnamed"):
+        self._ingestor = ingestor
+        self._system = system
+        self._meter = RateMeter()
+
+    @property
+    def ingestor(self) -> Ingestor:
+        """The wrapped system under test."""
+        return self._ingestor
+
+    @property
+    def meter(self) -> RateMeter:
+        """The rate meter accumulating observations."""
+        return self._meter
+
+    def ingest(self, rows, cols, values=1) -> float:
+        """Stream one batch; returns the seconds spent in ``update``."""
+        n = np.asarray(rows).size
+        start = time.perf_counter()
+        self._ingestor.update(rows, cols, values)
+        elapsed = time.perf_counter() - start
+        self._meter.record(n, elapsed)
+        return elapsed
+
+    def run(self, batches: Iterable, *, max_batches: Optional[int] = None) -> IngestResult:
+        """Stream an entire workload.
+
+        ``batches`` may yield :class:`~repro.workloads.powerlaw.EdgeBatch`,
+        :class:`~repro.workloads.traffic.PacketBatch`, or plain
+        ``(rows, cols, values)`` tuples.
+        """
+        count = 0
+        for batch in batches:
+            if max_batches is not None and count >= max_batches:
+                break
+            if hasattr(batch, "rows"):
+                self.ingest(batch.rows, batch.cols, batch.values)
+            elif hasattr(batch, "sources"):
+                self.ingest(batch.sources, batch.destinations, 1.0)
+            else:
+                rows, cols, values = batch
+                self.ingest(rows, cols, values)
+            count += 1
+        metadata = {}
+        stats = getattr(self._ingestor, "stats", None)
+        if stats is not None:
+            metadata = {
+                "cascades": list(stats.cascades),
+                "fast_memory_fraction": stats.fast_memory_fraction,
+                "slow_memory_writes": stats.slow_memory_writes,
+            }
+        return IngestResult(
+            system=self._system,
+            total_updates=self._meter.total_updates,
+            elapsed_seconds=self._meter.total_seconds,
+            updates_per_second=self._meter.updates_per_second,
+            batches=count,
+            metadata=metadata,
+        )

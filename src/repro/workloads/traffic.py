@@ -1,0 +1,268 @@
+"""Synthetic IP network traffic and origin-destination traffic matrices.
+
+The paper's motivating application is building origin-destination traffic
+matrices from streaming network data: for IPv4 the matrix is
+:math:`2^{32} \\times 2^{32}`, for IPv6 :math:`2^{64} \\times 2^{64}`, so a
+hypersparse representation is mandatory.  Real traffic captures are not
+available offline, so this module synthesises packet streams with the
+statistical features that matter for the benchmark — heavy-tailed source and
+destination popularity (supernodes), a small set of "background" flows, and
+Poisson-like per-window volumes — and provides the conversions between dotted
+IP strings, integers and subnets used by the analytics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import HierarchicalMatrix
+from .powerlaw import _splitmix64, _zipf_ranks
+
+__all__ = [
+    "ipv4_to_int",
+    "int_to_ipv4",
+    "ipv6_to_int",
+    "int_to_ipv6",
+    "subnet_of",
+    "PacketBatch",
+    "synthetic_packets",
+    "TrafficMatrixBuilder",
+]
+
+
+# --------------------------------------------------------------------------- #
+# address conversions
+# --------------------------------------------------------------------------- #
+
+
+def ipv4_to_int(addresses) -> np.ndarray:
+    """Convert dotted-quad IPv4 strings to uint64 integers (vectorised)."""
+    if isinstance(addresses, str):
+        addresses = [addresses]
+    out = np.empty(len(addresses), dtype=np.uint64)
+    for i, addr in enumerate(addresses):
+        parts = addr.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not an IPv4 address: {addr!r}")
+        value = 0
+        for p in parts:
+            octet = int(p)
+            if octet < 0 or octet > 255:
+                raise ValueError(f"invalid octet in {addr!r}")
+            value = (value << 8) | octet
+        out[i] = value
+    return out
+
+
+def int_to_ipv4(values) -> list:
+    """Convert uint64 integers back to dotted-quad IPv4 strings."""
+    arr = np.asarray(values, dtype=np.uint64).ravel()
+    out = []
+    for v in arr.tolist():
+        out.append(".".join(str((v >> shift) & 0xFF) for shift in (24, 16, 8, 0)))
+    return out
+
+
+def ipv6_to_int(addresses) -> list:
+    """Convert IPv6 strings to Python ints (128-bit values do not fit uint64).
+
+    The traffic-matrix convention of the paper folds IPv6 into a
+    :math:`2^{64} \\times 2^{64}` matrix by using the upper 64 bits (the routing
+    prefix + subnet) as the coordinate; :func:`ipv6_upper64` does that fold.
+    """
+    import ipaddress
+
+    if isinstance(addresses, str):
+        addresses = [addresses]
+    return [int(ipaddress.IPv6Address(a)) for a in addresses]
+
+
+def int_to_ipv6(values) -> list:
+    """Convert Python ints back to IPv6 strings."""
+    import ipaddress
+
+    return [str(ipaddress.IPv6Address(int(v))) for v in np.asarray(values, dtype=object).ravel()]
+
+
+def ipv6_upper64(addresses) -> np.ndarray:
+    """Fold IPv6 addresses to their upper 64 bits as uint64 coordinates."""
+    ints = ipv6_to_int(addresses)
+    return np.asarray([v >> 64 for v in ints], dtype=np.uint64)
+
+
+def subnet_of(values, prefix_len: int = 16) -> np.ndarray:
+    """Map IPv4 integer addresses to their /prefix_len subnet identifier."""
+    arr = np.asarray(values, dtype=np.uint64)
+    shift = np.uint64(32 - prefix_len)
+    return (arr >> shift).astype(np.uint64)
+
+
+# --------------------------------------------------------------------------- #
+# synthetic packet streams
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PacketBatch:
+    """One observation window of synthetic traffic.
+
+    Attributes
+    ----------
+    window:
+        0-based window index.
+    sources, destinations:
+        Per-packet IPv4 addresses as uint64 integers.
+    bytes:
+        Per-packet byte counts.
+    """
+
+    window: int
+    sources: np.ndarray
+    destinations: np.ndarray
+    bytes: np.ndarray
+
+    @property
+    def npackets(self) -> int:
+        """Number of packets in the window."""
+        return int(self.sources.size)
+
+
+def synthetic_packets(
+    npackets: int,
+    nwindows: int = 1,
+    *,
+    nsources: int = 2 ** 20,
+    ndestinations: int = 2 ** 20,
+    alpha: float = 1.2,
+    supernode_fraction: float = 0.1,
+    seed: Optional[int] = None,
+) -> Iterator[PacketBatch]:
+    """Generate a stream of synthetic packet windows.
+
+    Source and destination popularity follow a power law (so a handful of
+    "supernodes" dominate, as in real Internet traffic); a configurable
+    fraction of packets is concentrated onto the single most popular pair to
+    emulate background flows; byte counts are drawn from a log-normal.
+
+    Parameters
+    ----------
+    npackets:
+        Packets per window.
+    nwindows:
+        Number of windows to yield.
+    nsources, ndestinations:
+        Distinct address pools for each side.
+    alpha:
+        Power-law exponent of address popularity.
+    supernode_fraction:
+        Fraction of packets redirected to the top source/destination pair.
+    seed:
+        RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    for w in range(nwindows):
+        src_rank = _zipf_ranks(rng, npackets, alpha, nsources)
+        dst_rank = _zipf_ranks(rng, npackets, alpha, ndestinations)
+        if supernode_fraction > 0:
+            hot = rng.random(npackets) < supernode_fraction
+            src_rank[hot] = 0
+            dst_rank[hot] = 0
+        sources = _splitmix64(src_rank) % np.uint64(2 ** 32)
+        destinations = _splitmix64(dst_rank + np.uint64(nsources)) % np.uint64(2 ** 32)
+        nbytes = np.exp(rng.normal(6.0, 1.0, npackets)).astype(np.float64)
+        yield PacketBatch(w, sources, destinations, nbytes)
+
+
+# --------------------------------------------------------------------------- #
+# traffic-matrix construction
+# --------------------------------------------------------------------------- #
+
+
+class TrafficMatrixBuilder:
+    """Builds an origin-destination traffic matrix from packet streams.
+
+    The builder owns a :class:`~repro.core.HierarchicalMatrix` over the IPv4
+    address space (or any space the caller chooses) and exposes the two
+    operations a network-monitoring pipeline needs: ``observe`` to ingest a
+    window of packets at streaming rates, and ``snapshot`` to materialise the
+    matrix for analysis.
+
+    Parameters
+    ----------
+    value:
+        What to accumulate per packet: ``"packets"`` adds 1 per packet,
+        ``"bytes"`` adds the packet's byte count.
+    cuts / policy / nrows / ncols:
+        Forwarded to :class:`HierarchicalMatrix`.
+
+    Examples
+    --------
+    >>> builder = TrafficMatrixBuilder(cuts=[1000, 100000])
+    >>> for batch in synthetic_packets(10000, 3, seed=1):
+    ...     builder.observe(batch)
+    >>> builder.total_packets
+    30000
+    """
+
+    def __init__(
+        self,
+        *,
+        value: str = "packets",
+        nrows: int = 2 ** 32,
+        ncols: int = 2 ** 32,
+        cuts: Optional[Sequence[int]] = None,
+        policy=None,
+    ):
+        if value not in ("packets", "bytes"):
+            raise ValueError(f"value must be 'packets' or 'bytes', got {value!r}")
+        self._value = value
+        kwargs = {}
+        if cuts is not None:
+            kwargs["cuts"] = cuts
+        if policy is not None:
+            kwargs["policy"] = policy
+        self._matrix = HierarchicalMatrix(nrows, ncols, "fp64", **kwargs)
+        self._total_packets = 0
+        self._windows = 0
+
+    @property
+    def matrix(self) -> HierarchicalMatrix:
+        """The underlying hierarchical hypersparse matrix."""
+        return self._matrix
+
+    @property
+    def total_packets(self) -> int:
+        """Number of packets observed so far."""
+        return self._total_packets
+
+    @property
+    def windows_observed(self) -> int:
+        """Number of windows ingested."""
+        return self._windows
+
+    def observe(self, batch: PacketBatch) -> None:
+        """Ingest one window of packets into the traffic matrix."""
+        values = 1.0 if self._value == "packets" else batch.bytes
+        self._matrix.update(batch.sources, batch.destinations, values)
+        self._total_packets += batch.npackets
+        self._windows += 1
+
+    def observe_arrays(self, sources, destinations, values=1.0) -> None:
+        """Ingest raw coordinate arrays (for callers not using PacketBatch)."""
+        src = np.asarray(sources)
+        self._matrix.update(src, destinations, values)
+        self._total_packets += int(src.size)
+        self._windows += 1
+
+    def snapshot(self):
+        """Materialise the traffic matrix for analysis (layers stay intact)."""
+        return self._matrix.materialize()
+
+    @property
+    def updates_per_second(self) -> float:
+        """Measured ingest rate so far."""
+        stats = self._matrix.stats
+        return stats.updates_per_second if stats is not None else 0.0

@@ -1,0 +1,112 @@
+"""Tests for the flat-GraphBLAS and D4M baseline ingestors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlatD4MIngestor, FlatGraphBLASIngestor, HierarchicalD4MIngestor
+from repro.core import HierarchicalMatrix
+
+
+def batches(rng, n=5, size=40, space=500):
+    out = []
+    for _ in range(n):
+        out.append(
+            (
+                rng.integers(0, space, size).astype(np.uint64),
+                rng.integers(0, space, size).astype(np.uint64),
+                np.ones(size),
+            )
+        )
+    return out
+
+
+class TestFlatGraphBLAS:
+    def test_accumulates_correctly(self, rng):
+        flat = FlatGraphBLASIngestor(2**32, 2**32)
+        hier = HierarchicalMatrix(nrows=2**32, ncols=2**32, cuts=[50, 500])
+        for rows, cols, vals in batches(rng):
+            flat.update(rows, cols, vals)
+            hier.update(rows, cols, vals)
+        assert flat.materialize().isclose(hier.materialize())
+        assert flat.total_updates == 200
+
+    def test_element_writes_grow_superlinearly(self, rng):
+        flat = FlatGraphBLASIngestor(2**32, 2**32)
+        writes = []
+        for rows, cols, vals in batches(rng, n=6, space=10**6):
+            flat.update(rows, cols, vals)
+            writes.append(flat.element_writes)
+        increments = np.diff([0] + writes)
+        assert increments[-1] > increments[0]  # each merge touches more than the last
+
+    def test_clear(self, rng):
+        flat = FlatGraphBLASIngestor()
+        flat.update([1], [2], [3.0])
+        flat.clear()
+        assert flat.total_updates == 0
+        assert flat.matrix.nvals == 0
+
+    def test_shape(self):
+        assert FlatGraphBLASIngestor(10, 20).shape == (10, 20)
+
+
+class TestFlatD4M:
+    def test_accumulates(self):
+        d4m = FlatD4MIngestor()
+        d4m.update([1, 2], [3, 4], [1.0, 2.0])
+        d4m.update([1], [3], [5.0])
+        assoc = d4m.materialize()
+        assert assoc.nnz == 2
+        key = f"{1:020d}"
+        col = f"{3:020d}"
+        assert assoc.getval(key, col) == 6.0
+        assert d4m.total_updates == 3
+
+    def test_scalar_values(self):
+        d4m = FlatD4MIngestor()
+        d4m.update([1, 2], [3, 4], 1)
+        assert d4m.materialize().nnz == 2
+
+    def test_clear(self):
+        d4m = FlatD4MIngestor()
+        d4m.update([1], [1], [1.0])
+        d4m.clear()
+        assert d4m.materialize().nnz == 0
+
+
+class TestHierarchicalD4M:
+    def test_matches_flat_d4m(self, rng):
+        hier = HierarchicalD4MIngestor(cuts=[20, 200])
+        flat = FlatD4MIngestor()
+        for rows, cols, vals in batches(rng, n=4, size=20, space=50):
+            hier.update(rows, cols, vals)
+            flat.update(rows, cols, vals)
+        assert hier.materialize() == flat.materialize()
+
+    def test_stats_exposed(self):
+        hier = HierarchicalD4MIngestor(cuts=[2, 20])
+        hier.update([1, 2, 3], [4, 5, 6], [1, 1, 1])
+        assert hier.stats.total_updates == 3
+        assert hier.stats.cascades[0] >= 1
+        assert hier.hierarchy.nlevels == 3
+
+    def test_clear(self):
+        hier = HierarchicalD4MIngestor(cuts=[10])
+        hier.update([1], [2], [1.0])
+        hier.clear()
+        assert hier.total_updates == 0
+        assert hier.materialize().nnz == 0
+
+
+class TestRelativePerformanceShape:
+    def test_hierarchical_does_less_work_than_flat_graphblas(self, rng):
+        """Shape check for Fig. 2: as the accumulated state grows, the flat
+        ingestor's per-batch element traffic keeps growing while the
+        hierarchy's stays bounded by the cuts."""
+        flat = FlatGraphBLASIngestor(2**32, 2**32)
+        hier = HierarchicalMatrix(nrows=2**32, ncols=2**32, cuts=[100, 1000])
+        data = batches(rng, n=25, size=100, space=10**7)
+        for rows, cols, vals in data:
+            flat.update(rows, cols, vals)
+            hier.update(rows, cols, vals)
+        assert sum(hier.stats.element_writes) < flat.element_writes

@@ -1,0 +1,124 @@
+"""Tests for the Accumulo-style LSM store and SciDB-style chunked-array store."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ChunkedArrayStore, SortedTableStore
+
+
+class TestSortedTableStore:
+    def test_put_and_scan(self):
+        store = SortedTableStore(memtable_limit=100)
+        store.update([1, 2, 3], [4, 5, 6], [1.0, 2.0, 3.0])
+        assert store.scan(2, 5) == 2.0
+        assert store.scan(9, 9) is None
+        assert store.total_updates == 3
+
+    def test_duplicate_keys_sum(self):
+        store = SortedTableStore(memtable_limit=100)
+        store.update([1, 1], [4, 4], [1.0, 2.0])
+        store.update([1], [4], [4.0])
+        assert store.scan(1, 4) == 7.0
+
+    def test_flush_on_memtable_limit(self):
+        store = SortedTableStore(memtable_limit=10)
+        store.update(np.arange(25), np.arange(25), np.ones(25))
+        assert store.flushes >= 1
+        assert store.num_runs >= 1
+        assert store.scan(0, 0) == 1.0
+
+    def test_compaction_merges_runs(self):
+        store = SortedTableStore(memtable_limit=5, compaction_fanin=2)
+        for i in range(4):
+            store.update(np.arange(i * 5, i * 5 + 5), np.zeros(5, dtype=np.uint64), np.ones(5))
+        assert store.compactions >= 1
+        assert store.num_runs < 4
+
+    def test_to_triples_materialises_everything(self):
+        store = SortedTableStore(memtable_limit=3)
+        store.update([5, 1, 5], [5, 1, 5], [1.0, 1.0, 1.0])
+        rows, cols, vals = store.to_triples()
+        assert rows.size == 2
+        assert store.nvals == 2
+        assert vals[np.where(rows == 5)[0][0]] == 2.0
+
+    def test_write_amplification_tracked(self):
+        store = SortedTableStore(memtable_limit=4, compaction_fanin=2)
+        for i in range(5):
+            store.update(np.arange(i * 4, i * 4 + 4), np.arange(4), np.ones(4))
+        # 20 mutations, but flushes + compactions rewrote entries several times over.
+        assert store.entries_rewritten > 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SortedTableStore(memtable_limit=0)
+        with pytest.raises(ValueError):
+            SortedTableStore(compaction_fanin=1)
+
+    def test_empty_store(self):
+        store = SortedTableStore()
+        assert store.nvals == 0
+        assert store.scan(0, 0) is None
+        store.flush()  # no-op
+        store.compact()  # no-op
+
+
+class TestChunkedArrayStore:
+    def test_put_and_get(self):
+        store = ChunkedArrayStore(chunk_size=100)
+        store.update([5, 150], [7, 250], [1.0, 2.0])
+        assert store.get(5, 7) == 1.0
+        assert store.get(150, 250) == 2.0
+        assert store.get(99, 99) is None
+        assert store.num_chunks == 2
+
+    def test_duplicates_sum_within_chunk(self):
+        store = ChunkedArrayStore(chunk_size=100)
+        store.update([1, 1], [1, 1], [1.0, 2.0])
+        store.update([1], [1], [3.0])
+        assert store.get(1, 1) == 6.0
+        assert store.nvals == 1
+
+    def test_chunk_routing(self):
+        store = ChunkedArrayStore(chunk_size=10)
+        store.update([0, 15, 25], [0, 15, 25], [1.0, 1.0, 1.0])
+        assert store.num_chunks == 3
+
+    def test_hot_chunk_rewrites_grow(self):
+        store = ChunkedArrayStore(chunk_size=1000)
+        for i in range(5):
+            store.update(np.arange(i * 10, i * 10 + 10), np.arange(10), np.ones(10))
+        # All batches land in chunk (0, 0), so rewrites accumulate entries repeatedly.
+        assert store.chunk_writes == 5
+        assert store.cells_rewritten > 50
+
+    def test_to_triples_sorted(self):
+        store = ChunkedArrayStore(chunk_size=10)
+        store.update([25, 3, 14], [1, 1, 1], [1.0, 2.0, 3.0])
+        rows, cols, vals = store.to_triples()
+        assert rows.tolist() == [3, 14, 25]
+
+    def test_empty(self):
+        store = ChunkedArrayStore()
+        assert store.nvals == 0
+        assert store.to_triples()[0].size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkedArrayStore(chunk_size=0)
+
+    def test_agrees_with_hierarchical(self, rng):
+        from repro.core import HierarchicalMatrix
+
+        store = ChunkedArrayStore(chunk_size=2**20)
+        hier = HierarchicalMatrix(nrows=2**32, ncols=2**32, cuts=[50])
+        for _ in range(4):
+            rows = rng.integers(0, 10**6, 30).astype(np.uint64)
+            cols = rng.integers(0, 10**6, 30).astype(np.uint64)
+            store.update(rows, cols, np.ones(30))
+            hier.update(rows, cols, np.ones(30))
+        h_rows, h_cols, h_vals = hier.materialize().extract_tuples()
+        s_rows, s_cols, s_vals = store.to_triples()
+        assert np.array_equal(h_rows, s_rows)
+        assert np.array_equal(h_cols, s_cols)
+        assert np.allclose(h_vals, s_vals)

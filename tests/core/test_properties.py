@@ -1,0 +1,118 @@
+"""Property-based tests for the hierarchical cascade invariants.
+
+The central invariant (the paper's linearity argument): for ANY sequence of
+updates and ANY valid cut configuration, the hierarchical matrix materialises
+to exactly the same matrix as flat accumulation, and the layer occupancies
+respect the cuts between updates.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HierarchicalMatrix
+from repro.graphblas import Matrix, binary
+
+# A batch is a list of (row, col, value) triples over a small space.
+batch_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=9),
+    ),
+    min_size=1,
+    max_size=25,
+)
+batches_strategy = st.lists(batch_strategy, min_size=1, max_size=8)
+cuts_strategy = st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=3).map(
+    lambda xs: sorted(xs)
+)
+
+
+def apply_updates(H, ref, batches):
+    for batch in batches:
+        rows = np.array([t[0] for t in batch], dtype=np.uint64)
+        cols = np.array([t[1] for t in batch], dtype=np.uint64)
+        vals = np.array([t[2] for t in batch], dtype=np.float64)
+        H.update(rows, cols, vals)
+        ref.build(rows, cols, vals, dup_op=binary.plus)
+
+
+@settings(max_examples=50, deadline=None)
+@given(batches_strategy, cuts_strategy)
+def test_hierarchy_equals_flat_accumulation(batches, cuts):
+    H = HierarchicalMatrix(cuts=cuts)
+    ref = Matrix("fp64", 2**64, 2**64)
+    apply_updates(H, ref, batches)
+    assert H.materialize().isclose(ref, abs_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(batches_strategy, cuts_strategy)
+def test_layer_occupancy_respects_cuts_after_each_update(batches, cuts):
+    """After every update call, every non-terminal layer holds at most c_i entries
+    (the cascade fires whenever the cut is exceeded)."""
+    H = HierarchicalMatrix(cuts=cuts)
+    for batch in batches:
+        rows = np.array([t[0] for t in batch], dtype=np.uint64)
+        cols = np.array([t[1] for t in batch], dtype=np.uint64)
+        vals = np.ones(len(batch))
+        H.update(rows, cols, vals)
+        for level, cut in enumerate(H.cuts):
+            assert H.layer_nvals[level] <= cut
+
+
+@settings(max_examples=50, deadline=None)
+@given(batches_strategy, cuts_strategy)
+def test_flush_equals_materialize(batches, cuts):
+    H = HierarchicalMatrix(cuts=cuts)
+    ref = Matrix("fp64", 2**64, 2**64)
+    apply_updates(H, ref, batches)
+    materialised = H.materialize()
+    flushed = H.flush()
+    assert flushed.isclose(materialised, abs_tol=1e-9)
+    assert flushed.isclose(ref, abs_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(batches_strategy, cuts_strategy)
+def test_total_updates_counted_exactly(batches, cuts):
+    H = HierarchicalMatrix(cuts=cuts)
+    expected = 0
+    for batch in batches:
+        rows = np.array([t[0] for t in batch], dtype=np.uint64)
+        cols = np.array([t[1] for t in batch], dtype=np.uint64)
+        H.update(rows, cols, np.ones(len(batch)))
+        expected += len(batch)
+    assert H.stats.total_updates == expected
+    assert H.stats.element_writes[0] == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(batches_strategy, cuts_strategy, cuts_strategy)
+def test_result_independent_of_cut_choice(batches, cuts_a, cuts_b):
+    """Two hierarchies with different cuts see the same stream -> identical matrices."""
+    Ha = HierarchicalMatrix(cuts=cuts_a)
+    Hb = HierarchicalMatrix(cuts=cuts_b)
+    for batch in batches:
+        rows = np.array([t[0] for t in batch], dtype=np.uint64)
+        cols = np.array([t[1] for t in batch], dtype=np.uint64)
+        vals = np.array([t[2] for t in batch], dtype=np.float64)
+        Ha.update(rows, cols, vals)
+        Hb.update(rows, cols, vals)
+    assert Ha.materialize().isclose(Hb.materialize(), abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(batches_strategy)
+def test_get_matches_materialized_elements(batches):
+    H = HierarchicalMatrix(cuts=[3, 9])
+    seen = {}
+    for batch in batches:
+        rows = np.array([t[0] for t in batch], dtype=np.uint64)
+        cols = np.array([t[1] for t in batch], dtype=np.uint64)
+        vals = np.array([t[2] for t in batch], dtype=np.float64)
+        H.update(rows, cols, vals)
+        for r, c, v in batch:
+            seen[(r, c)] = seen.get((r, c), 0.0) + v
+    for (r, c), v in list(seen.items())[:20]:
+        assert H.get(r, c) == v

@@ -1,0 +1,104 @@
+"""Tests for update statistics."""
+
+import time
+
+import pytest
+
+from repro.core import UpdateStats
+from repro.core.stats import Timer
+
+
+class TestCounters:
+    def test_initial_state(self):
+        s = UpdateStats(3)
+        assert s.total_updates == 0
+        assert s.element_writes == [0, 0, 0]
+        assert s.cascades == [0, 0, 0]
+        assert s.updates_per_second == 0.0
+        assert s.fast_memory_fraction == 1.0
+        assert s.slow_memory_writes == 0
+
+    def test_record_update(self):
+        s = UpdateStats(2)
+        s.record_update(100)
+        s.record_update(50)
+        assert s.total_updates == 150
+        assert s.update_calls == 2
+        assert s.element_writes[0] == 150
+
+    def test_record_cascade(self):
+        s = UpdateStats(3)
+        s.record_cascade(0, 40)
+        s.record_cascade(1, 400)
+        assert s.cascades == [1, 1, 0]
+        assert s.element_writes == [0, 40, 400]
+
+    def test_cascade_from_last_level_does_not_index_error(self):
+        s = UpdateStats(2)
+        s.record_cascade(1, 10)
+        assert s.cascades == [0, 1]
+
+    def test_record_layer_size_high_water_mark(self):
+        s = UpdateStats(2)
+        s.record_layer_size(0, 10)
+        s.record_layer_size(0, 5)
+        s.record_layer_size(0, 20)
+        assert s.max_layer_nvals[0] == 20
+
+    def test_updates_per_second(self):
+        s = UpdateStats(2)
+        s.record_update(1000)
+        s.elapsed_seconds = 0.5
+        assert s.updates_per_second == 2000.0
+
+    def test_fast_memory_fraction(self):
+        s = UpdateStats(2)
+        s.element_writes = [90, 10]
+        assert s.fast_memory_fraction == pytest.approx(0.9)
+        assert s.slow_memory_writes == 10
+
+    def test_reset(self):
+        s = UpdateStats(2)
+        s.record_update(10)
+        s.record_cascade(0, 10)
+        s.elapsed_seconds = 1.0
+        s.reset()
+        assert s.total_updates == 0
+        assert s.element_writes == [0, 0]
+        assert s.elapsed_seconds == 0.0
+
+
+class TestMergeAndExport:
+    def test_merge(self):
+        a = UpdateStats(2)
+        b = UpdateStats(2)
+        a.record_update(10)
+        b.record_update(20)
+        a.record_cascade(0, 5)
+        a.record_layer_size(0, 7)
+        b.record_layer_size(0, 3)
+        a.elapsed_seconds, b.elapsed_seconds = 1.0, 2.0
+        merged = a.merge(b)
+        assert merged.total_updates == 30
+        assert merged.cascades == [1, 0]
+        assert merged.max_layer_nvals[0] == 7
+        assert merged.elapsed_seconds == 2.0
+
+    def test_merge_mismatched_levels_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateStats(2).merge(UpdateStats(3))
+
+    def test_as_dict(self):
+        s = UpdateStats(2)
+        s.record_update(5)
+        d = s.as_dict()
+        assert d["total_updates"] == 5
+        assert d["nlevels"] == 2
+        assert "updates_per_second" in d
+        assert "fast_memory_fraction" in d
+
+    def test_timer_context_manager(self):
+        s = UpdateStats(2)
+        with Timer(s):
+            time.sleep(0.01)
+        assert s.elapsed_seconds >= 0.005

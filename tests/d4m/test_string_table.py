@@ -1,0 +1,86 @@
+"""Tests for the sorted string key table."""
+
+import numpy as np
+import pytest
+
+from repro.d4m import StringTable
+
+
+class TestBasics:
+    def test_sorted_and_deduplicated(self):
+        t = StringTable(["b", "a", "b", "c"])
+        assert list(t) == ["a", "b", "c"]
+        assert len(t) == 3
+
+    def test_empty(self):
+        t = StringTable()
+        assert len(t) == 0
+        assert "x" not in t
+        assert t.lookup(["x"])[0] == -1
+
+    def test_numeric_keys_stringified(self):
+        t = StringTable([3, 1, 2])
+        assert list(t) == ["1", "2", "3"]
+        assert 2 in t
+
+    def test_contains_and_getitem(self):
+        t = StringTable(["x", "y"])
+        assert "x" in t and "z" not in t
+        assert t[0] == "x"
+
+    def test_equality(self):
+        assert StringTable(["a", "b"]) == StringTable(["b", "a"])
+        assert StringTable(["a"]) != StringTable(["b"])
+
+    def test_repr(self):
+        assert "n=2" in repr(StringTable(["a", "b"]))
+
+
+class TestLookup:
+    def test_lookup_found_and_missing(self):
+        t = StringTable(["alpha", "beta", "gamma"])
+        out = t.lookup(["beta", "delta", "alpha"])
+        assert out.tolist() == [1, -1, 0]
+
+    def test_require_raises_on_missing(self):
+        t = StringTable(["a"])
+        assert t.require(["a"]).tolist() == [0]
+        with pytest.raises(KeyError):
+            t.require(["a", "zzz"])
+
+
+class TestUnion:
+    def test_union_maps_are_correct(self):
+        a = StringTable(["a", "c"])
+        b = StringTable(["b", "c"])
+        merged, amap, bmap = a.union(b)
+        assert list(merged) == ["a", "b", "c"]
+        assert merged.keys[amap].tolist() == ["a", "c"]
+        assert merged.keys[bmap].tolist() == ["b", "c"]
+
+    def test_union_with_empty(self):
+        a = StringTable(["a"])
+        e = StringTable()
+        merged, amap, emap = a.union(e)
+        assert merged == a and amap.tolist() == [0] and emap.size == 0
+        merged2, emap2, amap2 = e.union(a)
+        assert merged2 == a and amap2.tolist() == [0]
+
+
+class TestSelection:
+    def test_select_range_inclusive(self):
+        t = StringTable(["a", "b", "c", "d"])
+        assert t.keys[t.select_range("b", "c")].tolist() == ["b", "c"]
+
+    def test_startswith(self):
+        t = StringTable(["10.0.0.1", "10.0.0.2", "10.1.0.1", "192.168.0.1"])
+        idx = t.startswith("10.0.")
+        assert t.keys[idx].tolist() == ["10.0.0.1", "10.0.0.2"]
+
+    def test_startswith_no_match(self):
+        t = StringTable(["abc"])
+        assert t.startswith("zzz").size == 0
+
+    def test_take(self):
+        t = StringTable(["a", "b", "c"])
+        assert list(t.take([2, 0])) == ["a", "c"]

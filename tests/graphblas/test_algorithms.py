@@ -1,0 +1,159 @@
+"""Tests for the linear-algebraic graph algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix
+from repro.graphblas.algorithms import (
+    bfs_levels,
+    connected_components,
+    degree_centrality,
+    katz_centrality,
+    pagerank,
+    triangle_count,
+)
+
+
+def path_graph(n=5):
+    """0 -> 1 -> 2 -> ... -> n-1."""
+    src = np.arange(n - 1)
+    return Matrix.from_coo(src, src + 1, 1.0, nrows=n, ncols=n)
+
+
+def cycle_graph(n=4):
+    src = np.arange(n)
+    return Matrix.from_coo(src, (src + 1) % n, 1.0, nrows=n, ncols=n)
+
+
+class TestBFS:
+    def test_path_graph_levels(self):
+        levels = bfs_levels(path_graph(5), 0)
+        assert [levels[i] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_unreachable_vertices_not_stored(self):
+        levels = bfs_levels(path_graph(5), 2)
+        assert levels[2] == 0 and levels[4] == 2
+        assert levels[0] is None and levels[1] is None
+
+    def test_cycle(self):
+        levels = bfs_levels(cycle_graph(4), 0)
+        assert levels[0] == 0 and levels[2] == 2
+
+    def test_hypersparse_vertex_ids(self):
+        g = Matrix.from_coo([2**40, 2**41], [2**41, 2**42], 1.0, nrows=2**64, ncols=2**64)
+        levels = bfs_levels(g, 2**40)
+        assert levels[2**42] == 2
+
+    def test_max_iterations_bound(self):
+        levels = bfs_levels(path_graph(10), 0, max_iterations=3)
+        assert levels.nvals == 3
+
+    def test_isolated_source(self):
+        g = Matrix.from_coo([1], [2], 1.0, nrows=5, ncols=5)
+        levels = bfs_levels(g, 4)
+        assert levels.nvals == 1 and levels[4] == 0
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        g = cycle_graph(5)
+        pr = pagerank(g)
+        _, vals = pr.to_coo()
+        assert vals.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetric_cycle_is_uniform(self):
+        pr = pagerank(cycle_graph(4))
+        _, vals = pr.to_coo()
+        assert np.allclose(vals, 0.25, atol=1e-3)
+
+    def test_hub_ranks_highest(self):
+        # Everyone points at vertex 0.
+        g = Matrix.from_coo([1, 2, 3, 4], [0, 0, 0, 0], 1.0, nrows=5, ncols=5)
+        pr = pagerank(g)
+        idx, vals = pr.to_coo()
+        best = int(idx[np.argmax(vals)])
+        assert best == 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(0)
+        edges = set()
+        while len(edges) < 30:
+            edges.add((int(rng.integers(0, 12)), int(rng.integers(0, 12))))
+        edges = [(u, v) for u, v in edges if u != v]
+        rows = [u for u, _ in edges]
+        cols = [v for _, v in edges]
+        g = Matrix.from_coo(rows, cols, 1.0, nrows=12, ncols=12)
+        ours = pagerank(g, damping=0.85, tolerance=1e-10, max_iterations=200)
+        nxg = nx.DiGraph(edges)
+        theirs = nx.pagerank(nxg, alpha=0.85, tol=1e-10, max_iter=200)
+        for node, expected in theirs.items():
+            assert ours[node] == pytest.approx(expected, abs=5e-3)
+
+    def test_empty_graph(self):
+        assert pagerank(Matrix("fp64", 10, 10)).nvals == 0
+
+
+class TestTriangles:
+    def test_triangle(self):
+        g = Matrix.from_coo([0, 1, 2], [1, 2, 0], 1.0, nrows=3, ncols=3)
+        assert triangle_count(g) == 1
+
+    def test_square_has_no_triangles(self):
+        assert triangle_count(cycle_graph(4)) == 0
+
+    def test_complete_graph(self):
+        n = 5
+        rows, cols = [], []
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    rows.append(i)
+                    cols.append(j)
+        g = Matrix.from_coo(rows, cols, 1.0, nrows=n, ncols=n)
+        assert triangle_count(g) == 10  # C(5,3)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        gnx = nx.gnp_random_graph(20, 0.3, seed=1)
+        rows = [u for u, v in gnx.edges()]
+        cols = [v for u, v in gnx.edges()]
+        g = Matrix.from_coo(rows, cols, 1.0, nrows=20, ncols=20)
+        expected = sum(nx.triangles(gnx).values()) // 3
+        assert triangle_count(g) == expected
+
+
+class TestComponentsAndCentrality:
+    def test_two_components(self):
+        g = Matrix.from_coo([0, 1, 5, 6], [1, 2, 6, 7], 1.0, nrows=10, ncols=10)
+        labels = connected_components(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[5]
+        assert labels[0] == 0 and labels[5] == 5  # smallest id in each component
+
+    def test_single_component_cycle(self):
+        labels = connected_components(cycle_graph(6))
+        _, vals = labels.to_coo()
+        assert np.all(vals == vals[0])
+
+    def test_empty_graph_components(self):
+        assert connected_components(Matrix("fp64", 4, 4)).nvals == 0
+
+    def test_degree_centrality_modes(self):
+        g = Matrix.from_coo([0, 0, 1], [1, 2, 2], 1.0, nrows=3, ncols=3)
+        assert degree_centrality(g, mode="out")[0] == 2
+        assert degree_centrality(g, mode="in")[2] == 2
+        assert degree_centrality(g, mode="total")[1] == 2
+        with pytest.raises(ValueError):
+            degree_centrality(g, mode="bogus")
+
+    def test_katz_hub_highest(self):
+        g = Matrix.from_coo([1, 2, 3], [0, 0, 0], 1.0, nrows=4, ncols=4)
+        katz = katz_centrality(g, alpha=0.05)
+        idx, vals = katz.to_coo()
+        assert int(idx[np.argmax(vals)]) == 0
+        assert katz.nvals == 4
+
+    def test_katz_empty(self):
+        assert katz_centrality(Matrix("fp64", 3, 3)).nvals == 0

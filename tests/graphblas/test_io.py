@@ -1,0 +1,109 @@
+"""Tests for Matrix Market / triple-file I/O and random matrix generation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    InvalidValue,
+    Matrix,
+    mmread,
+    mmwrite,
+    random_hypersparse,
+    read_triples,
+    write_triples,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip_float(self, small_matrix, tmp_path):
+        path = tmp_path / "m.mtx"
+        mmwrite(path, small_matrix)
+        back = mmread(path)
+        assert back.isequal(small_matrix)
+
+    def test_roundtrip_integer(self, tmp_path):
+        A = Matrix.from_coo([0, 1], [1, 0], [3, 4], dtype="int64", nrows=2, ncols=2)
+        path = tmp_path / "m.mtx"
+        mmwrite(path, A)
+        back = mmread(path)
+        assert back[0, 1] == 3
+        assert back.dtype.is_integer
+
+    def test_roundtrip_stringio(self, small_matrix):
+        buf = io.StringIO()
+        mmwrite(buf, small_matrix, comment="traffic matrix\nsecond line")
+        text = buf.getvalue()
+        assert text.startswith("%%MatrixMarket")
+        assert "% traffic matrix" in text
+        buf.seek(0)
+        assert mmread(buf).isequal(small_matrix)
+
+    def test_header_has_dimensions(self, small_matrix):
+        buf = io.StringIO()
+        mmwrite(buf, small_matrix)
+        dims_line = buf.getvalue().splitlines()[1]
+        assert dims_line.split() == ["5", "5", "6"]
+
+    def test_read_rejects_non_mm(self):
+        with pytest.raises(InvalidValue):
+            mmread(io.StringIO("not a matrix market file\n"))
+
+    def test_indices_are_one_based_on_disk(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=1, ncols=1)
+        buf = io.StringIO()
+        mmwrite(buf, A)
+        last = buf.getvalue().strip().splitlines()[-1]
+        assert last.split()[:2] == ["1", "1"]
+
+
+class TestTriples:
+    def test_roundtrip(self, small_matrix, tmp_path):
+        path = tmp_path / "triples.tsv"
+        write_triples(path, small_matrix)
+        back = read_triples(path, nrows=5, ncols=5)
+        assert back.isequal(small_matrix)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n1\t2\t3.0\n"
+        back = read_triples(io.StringIO(text), nrows=4, ncols=4)
+        assert back.nvals == 1
+        assert back[1, 2] == 3.0
+
+    def test_custom_separator(self):
+        buf = io.StringIO()
+        write_triples(buf, Matrix.from_coo([0], [1], [2.0], nrows=2, ncols=2), sep=",")
+        buf.seek(0)
+        back = read_triples(buf, sep=",", nrows=2, ncols=2)
+        assert back[0, 1] == 2.0
+
+    def test_hypersparse_coordinates_roundtrip(self):
+        A = Matrix.from_coo([2**40], [2**50], [1.0], nrows=2**64, ncols=2**64)
+        buf = io.StringIO()
+        write_triples(buf, A)
+        buf.seek(0)
+        back = read_triples(buf)
+        assert back[2**40, 2**50] == 1.0
+
+
+class TestRandom:
+    def test_reproducible_with_seed(self):
+        A = random_hypersparse(500, seed=7)
+        B = random_hypersparse(500, seed=7)
+        assert A.isequal(B)
+
+    def test_nvals_close_to_requested(self):
+        A = random_hypersparse(1000, seed=1)
+        assert A.nvals >= 990  # collisions vanishingly rare over 2^32 x 2^32
+
+    def test_dtypes(self):
+        assert random_hypersparse(10, dtype="bool", seed=0).dtype.is_bool
+        assert random_hypersparse(10, dtype="int64", seed=0, value_range=(1, 5)).dtype.is_integer
+        assert random_hypersparse(10, dtype="fp32", seed=0).dtype.is_float
+
+    def test_custom_shape(self):
+        A = random_hypersparse(50, nrows=100, ncols=200, seed=2)
+        assert A.nrows == 100 and A.ncols == 200
+        rows, cols, _ = A.extract_tuples()
+        assert rows.max() < 100 and cols.max() < 200

@@ -1,0 +1,254 @@
+"""Tests for the low-level sorted-COO kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import _kernels as K
+from repro.graphblas.binaryop import binary
+from repro.graphblas.errors import InvalidIndex
+
+
+def make(rows, cols, vals, dtype=np.float64):
+    return (
+        np.asarray(rows, dtype=np.uint64),
+        np.asarray(cols, dtype=np.uint64),
+        np.asarray(vals, dtype=dtype),
+    )
+
+
+class TestAsIndexArray:
+    def test_list_of_ints(self):
+        out = K.as_index_array([1, 2, 3])
+        assert out.dtype == np.uint64
+        assert np.array_equal(out, [1, 2, 3])
+
+    def test_large_ints_preserved_exactly(self):
+        out = K.as_index_array([2**63, 2**64 - 1, 5])
+        assert out[0] == 2**63
+        assert out[1] == 2**64 - 1
+
+    def test_scalar(self):
+        assert np.array_equal(K.as_index_array(7), [7])
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidIndex):
+            K.as_index_array([-1, 2])
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(InvalidIndex):
+            K.as_index_array(np.array([1.5, 2.0]))
+
+    def test_integral_float_accepted(self):
+        out = K.as_index_array(np.array([1.0, 2.0]))
+        assert np.array_equal(out, [1, 2])
+
+    def test_negative_float_rejected(self):
+        with pytest.raises(InvalidIndex):
+            K.as_index_array(np.array([-1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidIndex):
+            K.as_index_array(np.zeros((2, 2)))
+
+    def test_int_array_passthrough(self):
+        out = K.as_index_array(np.array([3, 4], dtype=np.int32))
+        assert out.dtype == np.uint64
+
+    def test_bool_array(self):
+        out = K.as_index_array(np.array([True, False]))
+        assert np.array_equal(out, [1, 0])
+
+
+class TestSortCoo:
+    def test_already_sorted_passthrough(self):
+        r, c, v = make([0, 0, 1], [1, 2, 0], [1, 2, 3])
+        rs, cs, vs = K.sort_coo(r, c, v)
+        assert rs is r and cs is c and vs is v
+
+    def test_unsorted_gets_sorted(self):
+        r, c, v = make([1, 0, 0], [0, 2, 1], [3, 2, 1])
+        rs, cs, vs = K.sort_coo(r, c, v)
+        assert np.array_equal(rs, [0, 0, 1])
+        assert np.array_equal(cs, [1, 2, 0])
+        assert np.array_equal(vs, [1, 2, 3])
+
+    def test_stable_for_duplicates(self):
+        r, c, v = make([0, 0], [1, 1], [10, 20])
+        rs, cs, vs = K.sort_coo(r, c, v)
+        assert np.array_equal(vs, [10, 20])  # original order preserved
+
+    def test_empty_and_singleton(self):
+        r, c, v = make([], [], [])
+        assert K.sort_coo(r, c, v)[0].size == 0
+        r, c, v = make([5], [6], [1.0])
+        assert K.sort_coo(r, c, v)[2][0] == 1.0
+
+
+class TestGroupStarts:
+    def test_no_duplicates(self):
+        r, c, _ = make([0, 1, 2], [0, 0, 0], [1, 1, 1])
+        assert np.array_equal(K.group_starts(r, c), [0, 1, 2])
+
+    def test_with_duplicates(self):
+        r, c, _ = make([0, 0, 0, 1], [1, 1, 2, 0], [1, 1, 1, 1])
+        assert np.array_equal(K.group_starts(r, c), [0, 2, 3])
+
+    def test_empty(self):
+        r, c, _ = make([], [], [])
+        assert K.group_starts(r, c).size == 0
+
+
+class TestCollapseDuplicates:
+    def test_plus_collapse(self):
+        r, c, v = make([0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        rs, cs, vs = K.collapse_duplicates(r, c, v, binary.plus)
+        assert np.array_equal(rs, [0, 1])
+        assert np.array_equal(vs, [3.0, 5.0])
+
+    def test_first_and_second(self):
+        r, c, v = make([0, 0], [1, 1], [1.0, 2.0])
+        assert K.collapse_duplicates(r, c, v, binary.first)[2][0] == 1.0
+        assert K.collapse_duplicates(r, c, v, binary.second)[2][0] == 2.0
+
+    def test_min_collapse(self):
+        r, c, v = make([0, 0, 0], [1, 1, 1], [5.0, 2.0, 7.0])
+        assert K.collapse_duplicates(r, c, v, binary.min)[2][0] == 2.0
+
+    def test_default_is_plus(self):
+        r, c, v = make([0, 0], [1, 1], [1.0, 2.0])
+        assert K.collapse_duplicates(r, c, v)[2][0] == 3.0
+
+    def test_no_duplicates_passthrough(self):
+        r, c, v = make([0, 1], [1, 1], [1.0, 2.0])
+        rs, cs, vs = K.collapse_duplicates(r, c, v, binary.plus)
+        assert np.array_equal(vs, [1.0, 2.0])
+
+    def test_non_ufunc_op_fallback(self):
+        r, c, v = make([0, 0, 0], [1, 1, 1], [1.0, 2.0, 4.0])
+        avg_like = binary.register("testtakefirstplus1", lambda x, y: x + 1)
+        rs, cs, vs = K.collapse_duplicates(r, c, v, avg_like)
+        assert vs[0] == 3.0  # ((1+1)+1)
+
+
+class TestUnionMerge:
+    def test_disjoint(self):
+        a = make([0], [0], [1.0])
+        b = make([1], [1], [2.0])
+        r, c, v = K.union_merge(a, b, binary.plus)
+        assert np.array_equal(r, [0, 1])
+        assert np.array_equal(v, [1.0, 2.0])
+
+    def test_overlap_applies_op(self):
+        a = make([0, 1], [0, 1], [1.0, 10.0])
+        b = make([1, 2], [1, 2], [5.0, 7.0])
+        r, c, v = K.union_merge(a, b, binary.plus)
+        assert np.array_equal(r, [0, 1, 2])
+        assert np.array_equal(v, [1.0, 15.0, 7.0])
+
+    def test_argument_order_for_noncommutative_op(self):
+        a = make([0], [0], [10.0])
+        b = make([0], [0], [3.0])
+        _, _, v = K.union_merge(a, b, binary.minus)
+        assert v[0] == 7.0  # a - b, not b - a
+        _, _, v2 = K.union_merge(a, b, binary.second)
+        assert v2[0] == 3.0
+
+    def test_empty_operands(self):
+        a = make([], [], [])
+        b = make([0], [1], [2.0])
+        r, c, v = K.union_merge(a, b, binary.plus)
+        assert np.array_equal(v, [2.0])
+        r, c, v = K.union_merge(b, a, binary.plus)
+        assert np.array_equal(v, [2.0])
+
+    def test_identical_patterns(self):
+        a = make([0, 1], [1, 2], [1.0, 2.0])
+        b = make([0, 1], [1, 2], [10.0, 20.0])
+        r, c, v = K.union_merge(a, b, binary.plus)
+        assert np.array_equal(v, [11.0, 22.0])
+        assert r.size == 2
+
+    def test_output_dtype_promotion(self):
+        a = (np.array([0], dtype=np.uint64), np.array([0], dtype=np.uint64), np.array([1], dtype=np.int32))
+        b = (np.array([0], dtype=np.uint64), np.array([0], dtype=np.uint64), np.array([0.5]))
+        _, _, v = K.union_merge(a, b, binary.plus)
+        assert v[0] == pytest.approx(1.5)
+
+    def test_result_is_sorted_and_unique(self):
+        rng = np.random.default_rng(3)
+        def rand_set(n, seed):
+            r = np.random.default_rng(seed)
+            rows = r.integers(0, 50, n).astype(np.uint64)
+            cols = r.integers(0, 50, n).astype(np.uint64)
+            vals = np.ones(n)
+            rows, cols, vals = K.sort_coo(rows, cols, vals)
+            return K.collapse_duplicates(rows, cols, vals, binary.plus)
+        a = rand_set(200, 1)
+        b = rand_set(200, 2)
+        r, c, v = K.union_merge(a, b, binary.plus)
+        order = np.lexsort((c, r))
+        assert np.array_equal(order, np.arange(r.size))
+        starts = K.group_starts(r, c)
+        assert starts.size == r.size  # no duplicates
+
+
+class TestIntersectMerge:
+    def test_basic_intersection(self):
+        a = make([0, 1], [0, 1], [2.0, 3.0])
+        b = make([1, 2], [1, 2], [5.0, 7.0])
+        r, c, v = K.intersect_merge(a, b, binary.times)
+        assert np.array_equal(r, [1])
+        assert np.array_equal(v, [15.0])
+
+    def test_no_overlap(self):
+        a = make([0], [0], [1.0])
+        b = make([5], [5], [1.0])
+        r, c, v = K.intersect_merge(a, b, binary.times)
+        assert r.size == 0
+
+    def test_empty_operand(self):
+        a = make([], [], [])
+        b = make([1], [1], [1.0])
+        assert K.intersect_merge(a, b, binary.times)[0].size == 0
+
+    def test_noncommutative_order(self):
+        a = make([0], [0], [10.0])
+        b = make([0], [0], [4.0])
+        _, _, v = K.intersect_merge(a, b, binary.minus)
+        assert v[0] == 6.0
+
+    def test_bool_result_op(self):
+        a = make([0], [0], [3.0])
+        b = make([0], [0], [3.0])
+        _, _, v = K.intersect_merge(a, b, binary.eq)
+        assert v.dtype == np.bool_
+        assert v[0] == True  # noqa: E712
+
+
+class TestMembershipAndSearch:
+    def test_membership_mask(self):
+        rows, cols = np.array([0, 1, 2], dtype=np.uint64), np.array([0, 1, 2], dtype=np.uint64)
+        orows, ocols = np.array([1, 3], dtype=np.uint64), np.array([1, 3], dtype=np.uint64)
+        mask = K.membership_mask(rows, cols, orows, ocols)
+        assert np.array_equal(mask, [False, True, False])
+
+    def test_membership_empty(self):
+        empty = np.empty(0, dtype=np.uint64)
+        assert K.membership_mask(empty, empty, empty, empty).size == 0
+        rows = np.array([1], dtype=np.uint64)
+        assert not K.membership_mask(rows, rows, empty, empty)[0]
+
+    def test_difference_mask(self):
+        rows, cols = np.array([0, 1], dtype=np.uint64), np.array([0, 1], dtype=np.uint64)
+        orows, ocols = np.array([1], dtype=np.uint64), np.array([1], dtype=np.uint64)
+        assert np.array_equal(K.difference_mask(rows, cols, orows, ocols), [True, False])
+
+    def test_search_sorted_coo(self):
+        rows, cols, _ = make([0, 0, 2], [1, 5, 3], [1, 1, 1])
+        pos = K.search_sorted_coo(rows, cols, [0, 2, 2], [5, 3, 99])
+        assert np.array_equal(pos, [1, 2, -1])
+
+    def test_search_empty(self):
+        empty = np.empty(0, dtype=np.uint64)
+        pos = K.search_sorted_coo(empty, empty, [1], [1])
+        assert pos[0] == -1

@@ -1,0 +1,69 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import main_fig2, main_ingest, main_scaling
+
+
+class TestIngestCLI:
+    def test_hierarchical_text_output(self, capsys):
+        rc = main_ingest(["--updates", "20000", "--batches", "5", "--cuts", "1000,10000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "updates per second" in out
+        assert "20,000" in out
+
+    def test_json_output(self, capsys):
+        rc = main_ingest(["--updates", "5000", "--batches", "5", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_updates"] == 5000
+        assert payload["updates_per_second"] > 0
+
+    def test_flat_system(self, capsys):
+        rc = main_ingest(["--updates", "3000", "--batches", "3", "--system", "flat"])
+        assert rc == 0
+        assert "flat" in capsys.readouterr().out
+
+    def test_d4m_system(self, capsys):
+        rc = main_ingest(
+            ["--updates", "2000", "--batches", "4", "--system", "hierarchical-d4m",
+             "--cuts", "500,5000"]
+        )
+        assert rc == 0
+        assert "hierarchical-d4m" in capsys.readouterr().out
+
+
+class TestScalingCLI:
+    def test_sequential_run(self, capsys):
+        rc = main_scaling(
+            ["--workers", "2", "--updates-per-worker", "5000", "--batch-size", "1000",
+             "--sequential"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SuperCloud projection" in out
+        assert "75,000,000,000" in out
+
+    def test_json_output(self, capsys):
+        rc = main_scaling(
+            ["--workers", "1", "--updates-per-worker", "3000", "--batch-size", "1000",
+             "--sequential", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_updates"] == 3000
+        assert payload["headline_projection"]["nodes"] == 1100
+
+
+class TestFig2CLI:
+    def test_prints_all_series(self, capsys):
+        rc = main_fig2(["--updates", "20000", "--d4m-updates", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Hierarchical GraphBLAS (measured)" in out
+        assert "Hierarchical D4M" in out
+        assert "Accumulo" in out
+        assert "CrateDB" in out

@@ -1,0 +1,111 @@
+"""Tests for the power-law and Kronecker workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    EdgeBatch,
+    degree_distribution,
+    kronecker_edges,
+    paper_stream,
+    powerlaw_edges,
+)
+
+
+class TestPowerlawEdges:
+    def test_shapes_and_dtype(self):
+        rows, cols = powerlaw_edges(1000, seed=0)
+        assert rows.shape == (1000,) and cols.shape == (1000,)
+        assert rows.dtype == np.uint64 and cols.dtype == np.uint64
+
+    def test_reproducible_with_seed(self):
+        a = powerlaw_edges(500, seed=42)
+        b = powerlaw_edges(500, seed=42)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        c = powerlaw_edges(500, seed=43)
+        assert not np.array_equal(a[0], c[0])
+
+    def test_coordinates_within_node_space(self):
+        rows, cols = powerlaw_edges(2000, nnodes=10_000, seed=1)
+        assert rows.max() < 10_000 and cols.max() < 10_000
+
+    def test_heavy_tail(self):
+        """A power-law stream concentrates many edges on few vertices."""
+        rows, _ = powerlaw_edges(20_000, alpha=1.3, distinct_nodes=5000, seed=3, scatter=False)
+        _, counts = np.unique(rows, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / counts.sum()
+        assert top_share > 0.2  # top-10 vertices carry a large share
+        assert counts.size < 5000  # far fewer distinct vertices than edges
+
+    def test_scatter_spreads_ids(self):
+        raw = powerlaw_edges(100, seed=0, scatter=False)[0]
+        scattered = powerlaw_edges(100, seed=0, scatter=True, nnodes=2**32)[0]
+        assert scattered.max() > raw.max()
+
+    def test_alpha_one_supported(self):
+        rows, _ = powerlaw_edges(100, alpha=1.0, seed=0)
+        assert rows.size == 100
+
+
+class TestKronecker:
+    def test_edge_count_and_range(self):
+        rows, cols = kronecker_edges(scale=8, edgefactor=4, seed=0)
+        assert rows.size == 4 * 256
+        assert rows.max() < 256 and cols.max() < 256
+
+    def test_reproducible(self):
+        a = kronecker_edges(6, 2, seed=5)
+        b = kronecker_edges(6, 2, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            kronecker_edges(0)
+        with pytest.raises(ValueError):
+            kronecker_edges(63)
+
+    def test_skewed_degree_distribution(self):
+        rows, _ = kronecker_edges(scale=10, edgefactor=8, seed=1, permute=False)
+        _, counts = np.unique(rows, return_counts=True)
+        assert counts.max() > 5 * counts.mean()
+
+    def test_permutation_changes_labels_not_count(self):
+        a_rows, _ = kronecker_edges(6, 4, seed=7, permute=False)
+        b_rows, _ = kronecker_edges(6, 4, seed=7, permute=True)
+        assert a_rows.size == b_rows.size
+
+
+class TestPaperStream:
+    def test_batch_structure(self):
+        batches = list(paper_stream(scale=0.00001, seed=0))
+        assert len(batches) == 1000
+        assert all(isinstance(b, EdgeBatch) for b in batches)
+        assert batches[0].nedges == 1  # 1000 entries / 1000 batches
+        assert batches[5].index == 5
+
+    def test_total_entries_scaled(self):
+        batches = list(paper_stream(total_entries=10_000, nbatches=10, scale=1.0, seed=0))
+        assert sum(b.nedges for b in batches) == 10_000
+        assert len(batches) == 10
+
+    def test_values_are_unit(self):
+        batch = next(iter(paper_stream(scale=0.00001, seed=0)))
+        assert np.all(batch.values == 1.0)
+
+    def test_deterministic_with_seed(self):
+        a = [b.rows for b in paper_stream(total_entries=1000, nbatches=5, seed=9)]
+        b = [b.rows for b in paper_stream(total_entries=1000, nbatches=5, seed=9)]
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_batches_differ_from_each_other(self):
+        batches = list(paper_stream(total_entries=2000, nbatches=2, seed=0))
+        assert not np.array_equal(batches[0].rows, batches[1].rows)
+
+
+class TestDegreeDistribution:
+    def test_counts_sum_to_vertices(self):
+        rows = np.array([1, 1, 1, 2, 3], dtype=np.uint64)
+        cols = np.zeros(5, dtype=np.uint64)
+        degree, count = degree_distribution(rows, cols)
+        assert degree.tolist() == [1, 3]
+        assert count.tolist() == [2, 1]
