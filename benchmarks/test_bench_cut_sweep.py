@@ -23,6 +23,8 @@ from repro.workloads import IngestSession, paper_stream
 
 from .conftest import write_report
 
+pytestmark = pytest.mark.bench
+
 N_UPDATES = 100_000
 N_BATCHES = 50
 

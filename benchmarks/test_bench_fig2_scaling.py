@@ -32,6 +32,8 @@ from repro.workloads import IngestSession, paper_stream
 
 from .conftest import write_report
 
+pytestmark = pytest.mark.bench
+
 #: Cuts scaled to the laptop-sized measurement stream (see DESIGN.md / the
 #: cut-sweep ablation); the paper's 2^17-entry first cut is tuned to a 100M
 #: update stream on Xeon-class caches.

@@ -15,6 +15,21 @@ hierarchy is purely a performance transformation, which is the linearity
 guarantee the paper leans on.  The small layers absorb the overwhelming
 majority of element writes, so almost all work happens on arrays small enough
 to stay in fast memory.
+
+Deferred layer-1 ingest
+-----------------------
+By default (``defer_ingest=True``) streaming batches are *appended* to layer
+1's pending-tuple buffer in O(n) instead of being eagerly sorted and merged.
+The cascade check counts pending tuples via the O(1)
+``Matrix.nvals_upper_bound``; only when stored + pending crosses the first
+cut :math:`c_1` does layer 1 pay one ``wait()`` (sort + collapse + merge,
+amortised over every batch appended since the last flush).  Because raw
+pending tuples over-count duplicates, the bound may trigger a flush whose
+collapsed ``nvals`` is still under the cut — then no cascade happens and
+streaming resumes; cascades themselves still fire on the exact post-collapse
+``nnz(A_1) > c_1`` condition, so the cascade pattern (and the final matrix)
+is identical to eager ingest.  Queries (``materialize``, ``get``,
+``layer_nvals`` ...) force the flush, so readers never observe pending state.
 """
 
 from __future__ import annotations
@@ -58,6 +73,14 @@ class HierarchicalMatrix:
     track_stats:
         Maintain an :class:`~repro.core.stats.UpdateStats` instance (small
         constant overhead; enabled by default).
+    defer_ingest:
+        When True (default) streaming updates append to layer 1's pending
+        buffer in O(n) and the sort/merge is deferred until the pending count
+        crosses the first cut (see the module docstring).  Deferral requires
+        an associative ``accum`` (it regroups batches); non-associative
+        accumulators automatically use eager ingest.  Set False to force the
+        pre-packed eager behaviour, mainly useful for benchmarking the
+        deferred path against it.
 
     Examples
     --------
@@ -79,6 +102,7 @@ class HierarchicalMatrix:
         policy: Optional[CutPolicy] = None,
         accum: Optional[BinaryOp] = None,
         track_stats: bool = True,
+        defer_ingest: bool = True,
         name: str = "",
     ):
         if cuts is not None and policy is not None:
@@ -94,6 +118,11 @@ class HierarchicalMatrix:
         self._nrows = int(nrows)
         self._ncols = int(ncols)
         self._accum = accum if accum is not None else binary.plus
+        # Deferred ingest regroups the pending batches (collapse first, then
+        # one merge), which only equals batch-by-batch eager merging for
+        # associative accumulators; non-associative ones (minus, div ...)
+        # silently fall back to eager ingest.
+        self._defer_ingest = bool(defer_ingest) and self._accum.associative
         self._layers: List[Matrix] = [
             Matrix(self._dtype, self._nrows, self._ncols, name=f"{name}A{i + 1}")
             for i in range(self._nlevels)
@@ -189,10 +218,12 @@ class HierarchicalMatrix:
         """
         start = time.perf_counter()
         n = rows.size if isinstance(rows, np.ndarray) else len(rows)
-        self._layers[0].build(rows, cols, values, dup_op=self._accum)
+        self._layers[0].build(
+            rows, cols, values, dup_op=self._accum, lazy=self._defer_ingest
+        )
         if self._stats is not None:
             self._stats.record_update(n)
-            self._stats.record_layer_size(0, self._layers[0].nvals)
+            self._stats.record_layer_size(0, self._layers[0].nvals_upper_bound)
         self._cascade()
         if self._stats is not None:
             self._stats.elapsed_seconds += time.perf_counter() - start
@@ -206,10 +237,16 @@ class HierarchicalMatrix:
             )
         start = time.perf_counter()
         n = other.nvals
-        self._layers[0].update(other, accum=self._accum)
+        if self._defer_ingest:
+            # extract_tuples already returns fresh copies; hand them straight
+            # to the pending buffer instead of copying a second time.
+            r, c, v = other.extract_tuples()
+            self._layers[0].build(r, c, v, dup_op=self._accum, lazy=True, copy=False)
+        else:
+            self._layers[0].update(other, accum=self._accum)
         if self._stats is not None:
             self._stats.record_update(n)
-            self._stats.record_layer_size(0, self._layers[0].nvals)
+            self._stats.record_layer_size(0, self._layers[0].nvals_upper_bound)
         self._cascade()
         if self._stats is not None:
             self._stats.elapsed_seconds += time.perf_counter() - start
@@ -234,13 +271,24 @@ class HierarchicalMatrix:
         Layer ``i`` is merged into layer ``i+1`` and cleared whenever its
         stored-entry count exceeds ``c_i``; the scan repeats on the next layer
         so a single large update can ripple through several levels.
+
+        The first check per layer uses the O(1) ``nvals_upper_bound`` (stored
+        + pending tuples) so the streaming hot path never forces a pending
+        merge; only when the bound crosses the cut is the layer flushed and
+        the exact post-collapse ``nvals`` consulted.
         """
         total_updates = self._stats.total_updates if self._stats is not None else 0
         for i in range(self._nlevels - 1):
-            nvals_i = self._layers[i].nvals
+            bound = self._layers[i].nvals_upper_bound
+            if bound <= self._cuts[i]:
+                if self._stats is not None:
+                    self._stats.record_layer_size(i, bound)
+                break
+            nvals_i = self._layers[i].nvals  # forces the deferred merge
             if self._stats is not None:
                 self._stats.record_layer_size(i, nvals_i)
             if nvals_i <= self._cuts[i]:
+                # Duplicate collapse brought the layer back under the cut.
                 break
             self._layers[i + 1].update(self._layers[i], accum=self._accum)
             self._layers[i].clear()

@@ -23,7 +23,7 @@ Example
 [(0, 2, 3.0), (1, 0, 8.0)]
 """
 
-from . import algorithms
+from . import algorithms, coords
 from .binaryop import BinaryOp, binary
 from .descriptor import Descriptor, descriptor
 from .errors import (
@@ -64,6 +64,7 @@ from .vector import Vector
 
 __all__ = [
     "algorithms",
+    "coords",
     "Matrix",
     "Vector",
     "BinaryOp",

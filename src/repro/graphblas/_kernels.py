@@ -7,10 +7,25 @@ with no duplicate coordinates.  This is the "hypersparse" invariant: storage is
 proportional to the number of stored entries only, never to the matrix
 dimensions.
 
+Performance architecture
+------------------------
+Each kernel runs on one of two interchangeable engines:
+
+* **Packed engine** — when the observed coordinates fit a 64-bit split (see
+  :mod:`repro.graphblas.coords`), ``(row, col)`` pairs are packed into single
+  ``uint64`` sort keys.  Sorting becomes a single-key stable ``np.argsort``,
+  merging becomes ``np.searchsorted``-driven vectorised merges with no
+  concatenate-then-lexsort, and membership/point queries become one binary
+  search per batch.  This is the hot path for the paper's IPv4
+  :math:`2^{32} \\times 2^{32}` traffic matrices and anything smaller.
+* **Lexsort fallback** — full 64-bit IPv6 coordinate sets keep the original
+  dual-key ``np.lexsort`` paths.  The two engines are bit-identical in output
+  (property-tested), so callers never need to know which one ran.
+
 The kernels are deliberately free of Python-level loops on the hot paths
-(sorting, duplicate collapse, union/intersection merges) per the
-vectorisation guidance in the HPC-Python guides; the only loops that remain are
-fallbacks for non-ufunc duplicate operators.
+(sorting, duplicate collapse, union/intersection merges, batched point
+queries) per the vectorisation guidance in the HPC-Python guides; the only
+loop that remains is the fallback for non-ufunc duplicate operators.
 """
 
 from __future__ import annotations
@@ -19,6 +34,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import coords
 from .binaryop import BinaryOp, binary
 from .errors import InvalidIndex
 
@@ -26,6 +42,7 @@ __all__ = [
     "INDEX_DTYPE",
     "as_index_array",
     "sort_coo",
+    "build_triples",
     "collapse_duplicates",
     "union_merge",
     "intersect_merge",
@@ -46,6 +63,9 @@ def as_index_array(idx, name: str = "index") -> np.ndarray:
 
     Negative values and non-integer arrays raise :class:`InvalidIndex`.
     """
+    if isinstance(idx, np.ndarray) and idx.dtype == INDEX_DTYPE and idx.ndim == 1:
+        # Hot path: streaming workloads hand us ready-made uint64 arrays.
+        return idx
     if not isinstance(idx, np.ndarray) and (
         not hasattr(idx, "__len__")
         or len(idx) == 0
@@ -89,21 +109,38 @@ def as_index_array(idx, name: str = "index") -> np.ndarray:
     raise InvalidIndex(f"{name} has non-integer dtype {arr.dtype}")
 
 
-def sort_coo(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> Triple:
-    """Sort COO triples lexicographically by (row, col).
+# --------------------------------------------------------------------------- #
+# sorting and duplicate collapse
+# --------------------------------------------------------------------------- #
 
-    Returns new arrays; the inputs are not modified.  Already-sorted input is
-    detected and returned without copying work beyond the monotonicity check.
-    """
-    if rows.size <= 1:
-        return rows, cols, vals
-    # Cheap monotonicity check before paying for a lexsort: already strictly
-    # sorted input (the common case when merging clean matrices) passes through.
+
+def _lexsort_coo(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> Triple:
+    """Dual-key fallback sort (strictly-sorted input passes through)."""
     if np.all(rows[1:] >= rows[:-1]):
         same_row = rows[1:] == rows[:-1]
         if not np.any(same_row) or np.all(cols[1:][same_row] > cols[:-1][same_row]):
             return rows, cols, vals
     order = np.lexsort((cols, rows))
+    return rows[order], cols[order], vals[order]
+
+
+def sort_coo(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> Triple:
+    """Sort COO triples lexicographically by (row, col).
+
+    Returns new arrays; the inputs are not modified.  Already-sorted input is
+    detected and returned without copying work beyond the monotonicity check.
+    Stable for duplicate coordinates (insertion order is preserved), which the
+    ``first``/``second`` duplicate operators rely on.
+    """
+    if rows.size <= 1:
+        return rows, cols, vals
+    spec = coords.plan_pack((rows, cols))
+    if spec is None:
+        return _lexsort_coo(rows, cols, vals)
+    keys = coords.pack(rows, cols, spec)
+    if np.all(keys[1:] > keys[:-1]):  # already strictly sorted: pass through
+        return rows, cols, vals
+    order = np.argsort(keys, kind="stable")
     return rows[order], cols[order], vals[order]
 
 
@@ -116,6 +153,39 @@ def group_starts(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     np.not_equal(rows[1:], rows[:-1], out=new_group[1:])
     np.logical_or(new_group[1:], cols[1:] != cols[:-1], out=new_group[1:])
     return np.flatnonzero(new_group)
+
+
+def _key_group_starts(keys: np.ndarray) -> np.ndarray:
+    """Start offsets of runs of identical packed keys."""
+    new_group = np.empty(keys.size, dtype=bool)
+    new_group[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=new_group[1:])
+    return np.flatnonzero(new_group)
+
+
+def _reduce_groups(
+    vals: np.ndarray, starts: np.ndarray, total: int, dup_op: BinaryOp
+) -> np.ndarray:
+    """Reduce contiguous value groups delimited by ``starts`` with ``dup_op``."""
+    if dup_op.name == "first":
+        return vals[starts]
+    if dup_op.name == "second":
+        ends = np.append(starts[1:], total) - 1
+        return vals[ends]
+    if dup_op.ufunc is not None:
+        out_vals = dup_op.ufunc.reduceat(vals, starts)
+        if out_vals.dtype != vals.dtype:
+            out_vals = out_vals.astype(vals.dtype)
+        return out_vals
+    # Generic fallback: reduce each group with a Python loop.
+    ends = np.append(starts[1:], total)
+    out_vals = np.empty(starts.size, dtype=vals.dtype)
+    for i in range(starts.size):
+        acc = vals[starts[i]]
+        for j in range(starts[i] + 1, ends[i]):
+            acc = dup_op(acc, vals[j])
+        out_vals[i] = acc
+    return out_vals
 
 
 def collapse_duplicates(
@@ -139,27 +209,77 @@ def collapse_duplicates(
     starts = group_starts(rows, cols)
     if starts.size == rows.size:  # no duplicates at all
         return rows, cols, vals
-    out_rows = rows[starts]
-    out_cols = cols[starts]
-    if dup_op.name == "first":
-        return out_rows, out_cols, vals[starts]
-    if dup_op.name == "second":
-        ends = np.append(starts[1:], rows.size) - 1
-        return out_rows, out_cols, vals[ends]
-    if dup_op.ufunc is not None:
-        out_vals = dup_op.ufunc.reduceat(vals, starts)
-        if out_vals.dtype != vals.dtype:
-            out_vals = out_vals.astype(vals.dtype)
-        return out_rows, out_cols, out_vals
-    # Generic fallback: reduce each group with a Python loop.
-    ends = np.append(starts[1:], rows.size)
-    out_vals = np.empty(starts.size, dtype=vals.dtype)
-    for i in range(starts.size):
-        acc = vals[starts[i]]
-        for j in range(starts[i] + 1, ends[i]):
-            acc = dup_op(acc, vals[j])
-        out_vals[i] = acc
-    return out_rows, out_cols, out_vals
+    return rows[starts], cols[starts], _reduce_groups(vals, starts, rows.size, dup_op)
+
+
+def build_triples(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    dup_op: Optional[BinaryOp] = None,
+) -> Triple:
+    """Sort raw triples and collapse duplicates in one fused kernel.
+
+    Equivalent to ``collapse_duplicates(*sort_coo(rows, cols, vals), dup_op)``
+    but packs the coordinates only once, so the streaming build/ingest path
+    pays a single key construction for both stages.
+    """
+    if rows.size <= 1:
+        return rows, cols, vals
+    if dup_op is None:
+        dup_op = binary.plus
+    spec = coords.plan_pack((rows, cols))
+    if spec is None:
+        rows, cols, vals = _lexsort_coo(rows, cols, vals)
+        return collapse_duplicates(rows, cols, vals, dup_op)
+    keys = coords.pack(rows, cols, spec)
+    if not np.all(keys[1:] > keys[:-1]):
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = vals[order]
+        strictly_sorted = False
+    else:
+        strictly_sorted = True
+    starts = _key_group_starts(keys)
+    if starts.size == keys.size:  # duplicate-free
+        if strictly_sorted:
+            return rows, cols, vals
+        out_rows, out_cols = coords.unpack(keys, spec)
+        return out_rows, out_cols, vals
+    out_rows, out_cols = coords.unpack(keys[starts], spec)
+    return out_rows, out_cols, _reduce_groups(vals, starts, keys.size, dup_op)
+
+
+# --------------------------------------------------------------------------- #
+# merges
+# --------------------------------------------------------------------------- #
+
+
+def _locate_keys(ka: np.ndarray, kb: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Locate each key of ``ka`` in sorted, duplicate-free ``kb``.
+
+    Returns ``(positions, hit)``: ``positions`` are clamped insertion points
+    into ``kb`` and ``hit`` marks the ``ka`` entries actually present there.
+    ``kb`` must be non-empty.
+    """
+    idx = np.searchsorted(kb, ka, side="left")
+    idx_c = np.minimum(idx, kb.size - 1)
+    return idx_c, kb[idx_c] == ka
+
+
+def _merge_sorted_keys(ka: np.ndarray, kb: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised two-way merge of sorted key arrays (ties: ``a`` before ``b``).
+
+    Returns ``(merged_keys, pos_a, pos_b)`` where ``pos_a``/``pos_b`` are the
+    positions of each input element inside the merged array.  Replaces the
+    concatenate + lexsort idiom with two binary searches and two scatters.
+    """
+    pos_a = np.arange(ka.size, dtype=np.intp) + np.searchsorted(kb, ka, side="left")
+    pos_b = np.arange(kb.size, dtype=np.intp) + np.searchsorted(ka, kb, side="right")
+    merged = np.empty(ka.size + kb.size, dtype=ka.dtype)
+    merged[pos_a] = ka
+    merged[pos_b] = kb
+    return merged, pos_a, pos_b
 
 
 def union_merge(
@@ -185,6 +305,32 @@ def union_merge(
     if rb.size == 0:
         return ra.copy(), ca.copy(), va.astype(out_dtype, copy=True)
 
+    spec = coords.plan_pack((ra, ca), (rb, cb))
+    if spec is not None:
+        keys, pos_a, pos_b = _merge_sorted_keys(
+            coords.pack(ra, ca, spec), coords.pack(rb, cb, spec)
+        )
+        vals = np.empty(keys.size, dtype=out_dtype)
+        vals[pos_a] = va.astype(out_dtype, copy=False)
+        vals[pos_b] = vb.astype(out_dtype, copy=False)
+        # Each input is duplicate-free, so any duplicate run has exactly two
+        # members: the `a` element immediately followed by the `b` element.
+        dup_with_next = np.zeros(keys.size, dtype=bool)
+        dup_with_next[:-1] = keys[1:] == keys[:-1]
+        matched_first = np.flatnonzero(dup_with_next)
+        if matched_first.size == 0:
+            out_rows, out_cols = coords.unpack(keys, spec)
+            return out_rows, out_cols, vals
+        keep = np.ones(keys.size, dtype=bool)
+        keep[matched_first + 1] = False
+        combined = op(vals[matched_first], vals[matched_first + 1])
+        out_vals = vals[keep]
+        kept_positions = np.cumsum(keep) - 1
+        out_vals[kept_positions[matched_first]] = combined.astype(out_dtype, copy=False)
+        out_rows, out_cols = coords.unpack(keys[keep], spec)
+        return out_rows, out_cols, out_vals
+
+    # Lexsort fallback (full 64-bit coordinate sets).
     rows = np.concatenate([ra, rb])
     cols = np.concatenate([ca, cb])
     # Tag the provenance of each tuple so matched pairs apply op(a_val, b_val)
@@ -200,23 +346,17 @@ def union_merge(
     rows = rows[order]
     cols = cols[order]
     vals = vals[order]
-    src = src[order]
 
-    # Because each input is duplicate-free, any duplicate group has exactly two
-    # members: one from `a` (src=0) followed by one from `b` (src=1).
     dup_with_next = np.zeros(rows.size, dtype=bool)
-    if rows.size > 1:
-        dup_with_next[:-1] = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
-    keep = ~np.roll(dup_with_next, 1) if rows.size else np.ones(0, dtype=bool)
-    if rows.size:
-        keep[0] = True
-
+    dup_with_next[:-1] = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
     if not np.any(dup_with_next):
         return rows, cols, vals
 
     matched_first = np.flatnonzero(dup_with_next)
+    keep = np.ones(rows.size, dtype=bool)
+    keep[matched_first + 1] = False
     combined = op(vals[matched_first], vals[matched_first + 1])
-    out_vals = vals[keep].copy()
+    out_vals = vals[keep]
     # Positions of the matched pairs within the kept array.
     kept_positions = np.cumsum(keep) - 1
     out_vals[kept_positions[matched_first]] = combined.astype(out_dtype, copy=False)
@@ -248,6 +388,22 @@ def intersect_merge(
     if ra.size == 0 or rb.size == 0:
         return empty
 
+    spec = coords.plan_pack((ra, ca), (rb, cb))
+    if spec is not None:
+        ka = coords.pack(ra, ca, spec)
+        kb = coords.pack(rb, cb, spec)
+        idx_c, hit = _locate_keys(ka, kb)
+        if not np.any(hit):
+            return empty
+        combined = op(
+            va[hit].astype(out_dtype, copy=False),
+            vb[idx_c[hit]].astype(out_dtype, copy=False),
+        ).astype(out_dtype, copy=False)
+        if op.bool_result:
+            combined = combined.astype(np.bool_)
+        return ra[hit], ca[hit], combined
+
+    # Lexsort fallback (full 64-bit coordinate sets).
     rows = np.concatenate([ra, rb])
     cols = np.concatenate([ca, cb])
     src = np.empty(rows.size, dtype=np.uint8)
@@ -272,6 +428,11 @@ def intersect_merge(
     return rows[matched_first], cols[matched_first], combined
 
 
+# --------------------------------------------------------------------------- #
+# membership and point queries
+# --------------------------------------------------------------------------- #
+
+
 def membership_mask(
     rows: np.ndarray,
     cols: np.ndarray,
@@ -286,6 +447,14 @@ def membership_mask(
         return np.zeros(0, dtype=bool)
     if other_rows.size == 0:
         return np.zeros(rows.size, dtype=bool)
+
+    spec = coords.plan_pack((rows, cols), (other_rows, other_cols))
+    if spec is not None:
+        keys = coords.pack(rows, cols, spec)
+        other_keys = coords.pack(other_rows, other_cols, spec)
+        return _locate_keys(keys, other_keys)[1]
+
+    # Lexsort fallback (full 64-bit coordinate sets).
     all_rows = np.concatenate([rows, other_rows])
     all_cols = np.concatenate([cols, other_cols])
     src = np.empty(all_rows.size, dtype=np.uint8)
@@ -326,20 +495,64 @@ def search_sorted_coo(
     """Locate query coordinates in a sorted COO set.
 
     Returns an int64 array of positions; ``-1`` marks coordinates not present.
+    Small query batches (single-element ``extractElement`` calls) use a
+    per-query row-slice binary search costing O(q log n) with no O(n) scan of
+    the stored set.  Bulk batches are fully vectorised on both engines: the
+    packed path is one binary search over the whole query batch, the fallback
+    ranks stored tuples and queries in a single merged lexsort — no per-query
+    Python loop, so 10k+ point queries cost O((n + q) log (n + q)) total.
     """
     qr = as_index_array(query_rows, "query rows")
     qc = as_index_array(query_cols, "query cols")
     out = np.full(qr.size, -1, dtype=np.int64)
     if rows.size == 0 or qr.size == 0:
         return out
-    # Narrow each query to the row's slice, then binary search the columns.
-    row_lo = np.searchsorted(rows, qr, side="left")
-    row_hi = np.searchsorted(rows, qr, side="right")
-    for i in range(qr.size):
-        lo, hi = row_lo[i], row_hi[i]
-        if lo == hi:
-            continue
-        j = lo + np.searchsorted(cols[lo:hi], qc[i], side="left")
-        if j < hi and cols[j] == qc[i]:
-            out[i] = j
+
+    if qr.size <= 32:
+        # Point-query fast path: binary-search each query's row slice, then
+        # its column.  Avoids packing/ranking the whole stored set, keeping
+        # extractElement at O(log n) per call.
+        row_lo = np.searchsorted(rows, qr, side="left")
+        row_hi = np.searchsorted(rows, qr, side="right")
+        for i in range(qr.size):
+            lo, hi = row_lo[i], row_hi[i]
+            if lo == hi:
+                continue
+            j = lo + np.searchsorted(cols[lo:hi], qc[i], side="left")
+            if j < hi and cols[j] == qc[i]:
+                out[i] = j
+        return out
+
+    spec = coords.plan_pack((rows, cols), (qr, qc))
+    if spec is not None:
+        keys = coords.pack(rows, cols, spec)
+        query_keys = coords.pack(qr, qc, spec)
+        idx_c, hit = _locate_keys(query_keys, keys)
+        out[hit] = idx_c[hit]
+        return out
+
+    # Fallback: rank queries against stored tuples via one merged lexsort.
+    # With src as the final key, a query sorts after an equal stored tuple, so
+    # the count of stored tuples at-or-before each query is its side="right"
+    # insertion point; the candidate match is the stored tuple just before it.
+    n = rows.size
+    all_rows = np.concatenate([rows, qr])
+    all_cols = np.concatenate([cols, qc])
+    src = np.empty(all_rows.size, dtype=np.uint8)
+    src[:n] = 0
+    src[n:] = 1
+    order = np.lexsort((src, all_cols, all_rows))
+    is_query = order >= n
+    stored_before = np.cumsum(~is_query)
+    query_positions = np.flatnonzero(is_query)
+    query_idx = order[query_positions] - n
+    j_right = stored_before[query_positions]
+    has_candidate = j_right > 0
+    candidate = np.where(has_candidate, j_right - 1, 0)
+    hit = (
+        has_candidate
+        & (rows[candidate] == qr[query_idx])
+        & (cols[candidate] == qc[query_idx])
+    )
+    out[query_idx[hit]] = candidate[hit]
     return out

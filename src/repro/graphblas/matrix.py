@@ -86,6 +86,7 @@ class Matrix:
         "_pend_cols",
         "_pend_vals",
         "_pend_count",
+        "_pend_op",
         "name",
     )
 
@@ -104,6 +105,7 @@ class Matrix:
         self._pend_cols: list = []
         self._pend_vals: list = []
         self._pend_count = 0
+        self._pend_op: Optional[BinaryOp] = None
         self.name = name
 
     # -- alternate constructors ----------------------------------------- #
@@ -253,29 +255,55 @@ class Matrix:
     # pending-tuple machinery
     # ------------------------------------------------------------------ #
 
+    def _append_pending(self, r: np.ndarray, c: np.ndarray, v: np.ndarray, op: BinaryOp) -> None:
+        """Append validated triples to the pending buffer under operator ``op``.
+
+        The whole pending buffer shares one combining operator; switching
+        operators (e.g. interleaving ``setElement`` replace semantics with a
+        lazy ``plus`` build) flushes the buffer first so ordering semantics
+        are preserved exactly.
+        """
+        if r.size == 0:
+            return
+        if self._pend_count and self._pend_op is not None and self._pend_op is not op:
+            self._wait()
+        self._pend_op = op
+        self._pend_rows.append(r)
+        self._pend_cols.append(c)
+        self._pend_vals.append(v)
+        self._pend_count += r.size
+
     def _wait(self) -> None:
         """Merge any pending tuples into the sorted representation.
 
-        Mirrors ``GrB_wait``: pending insertions are sorted, duplicate
-        coordinates are collapsed (later insertions win, matching repeated
-        ``setElement`` semantics), and the result is union-merged into the
-        sorted arrays with ``second`` (replace) semantics.
+        Mirrors ``GrB_wait``: pending insertions are sorted (stably, so
+        insertion order survives), duplicate coordinates are collapsed with
+        the buffer's pending operator, and the result is union-merged into the
+        sorted arrays with the same operator.  ``setElement`` buffers under
+        ``second`` (later insertions win, matching repeated-store semantics);
+        lazy ``build`` buffers under its ``dup_op`` (``plus`` for the
+        streaming-accumulate hot path).
         """
         if self._pend_count == 0:
             return
-        pr = np.concatenate(self._pend_rows)
-        pc = np.concatenate(self._pend_cols)
-        pv = np.concatenate(self._pend_vals).astype(self._dtype.np_type, copy=False)
+        op = self._pend_op if self._pend_op is not None else binary.second
+        if len(self._pend_rows) == 1:
+            pr, pc, pv = self._pend_rows[0], self._pend_cols[0], self._pend_vals[0]
+            pv = pv.astype(self._dtype.np_type, copy=False)
+        else:
+            pr = np.concatenate(self._pend_rows)
+            pc = np.concatenate(self._pend_cols)
+            pv = np.concatenate(self._pend_vals).astype(self._dtype.np_type, copy=False)
         self._pend_rows.clear()
         self._pend_cols.clear()
         self._pend_vals.clear()
         self._pend_count = 0
-        pr, pc, pv = K.sort_coo(pr, pc, pv)
-        pr, pc, pv = K.collapse_duplicates(pr, pc, pv, binary.second)
+        self._pend_op = None
+        pr, pc, pv = K.build_triples(pr, pc, pv, op)
         self._rows, self._cols, self._vals = K.union_merge(
             (self._rows, self._cols, self._vals),
             (pr, pc, pv),
-            binary.second,
+            op,
             out_dtype=self._dtype.np_type,
         )
 
@@ -304,13 +332,38 @@ class Matrix:
     # element and bulk updates
     # ------------------------------------------------------------------ #
 
-    def build(self, rows, cols, values=1, *, dup_op: Optional[BinaryOp] = None, clear: bool = False) -> "Matrix":
+    def build(
+        self,
+        rows,
+        cols,
+        values=1,
+        *,
+        dup_op: Optional[BinaryOp] = None,
+        clear: bool = False,
+        lazy: bool = False,
+        copy: bool = True,
+    ) -> "Matrix":
         """Insert a batch of coordinate triples.
 
         Unlike the strict C API (which requires an empty output), ``build`` on a
         non-empty matrix merges the new entries with ``dup_op`` (default
         ``plus``), which is exactly the streaming-update usage of the paper.
         Set ``clear=True`` for the strict replace-all behaviour.
+
+        With ``lazy=True`` the triples are copied into the pending-tuple
+        buffer in O(n) and the sort + duplicate-collapse + merge is deferred
+        until the next :meth:`wait` (or any operation that forces one).  This
+        is the streaming-insert hot path the hierarchical cascade rides:
+        almost every batch becomes a plain append, and the deferred work is
+        amortised over many batches.  The logical result is identical to the
+        eager path for any associative ``dup_op`` because the stable pending
+        sort preserves insertion order within equal coordinates; deferral
+        would regroup batches under a non-associative ``dup_op``, so those
+        ignore ``lazy`` and run eagerly.
+
+        ``copy=False`` (lazy path only) transfers ownership of the supplied
+        arrays into the pending buffer instead of copying them; callers must
+        not mutate the arrays afterwards.
         """
         if clear:
             self.clear()
@@ -327,9 +380,23 @@ class Matrix:
         self._check_indices(r, c)
         if dup_op is None:
             dup_op = binary.plus
+        if lazy and dup_op.associative:
+            # Copy so later caller-side mutation of a reused batch buffer
+            # cannot corrupt the deferred merge — but only arrays that passed
+            # through from the caller; freshly allocated conversions
+            # (np.full broadcast, dtype casts, list inputs) are already
+            # private.  copy=False transfers ownership outright.
+            if copy:
+                if r is rows:
+                    r = r.copy()
+                if c is cols:
+                    c = c.copy()
+                if v is values:
+                    v = v.copy()
+            self._append_pending(r, c, v, dup_op)
+            return self
         self._wait()
-        r, c, v = K.sort_coo(r, c, v)
-        r, c, v = K.collapse_duplicates(r, c, v, dup_op)
+        r, c, v = K.build_triples(r, c, v, dup_op)
         if self._rows.size == 0:
             self._rows, self._cols, self._vals = r.copy(), c.copy(), v.copy()
         else:
@@ -346,10 +413,9 @@ class Matrix:
         r = K.as_index_array([row], "row")
         c = K.as_index_array([col], "col")
         self._check_indices(r, c)
-        self._pend_rows.append(r)
-        self._pend_cols.append(c)
-        self._pend_vals.append(np.asarray([value], dtype=self._dtype.np_type))
-        self._pend_count += 1
+        self._append_pending(
+            r, c, np.asarray([value], dtype=self._dtype.np_type), binary.second
+        )
 
     __setitem_scalar__ = setElement
 
@@ -389,6 +455,7 @@ class Matrix:
         self._pend_cols.clear()
         self._pend_vals.clear()
         self._pend_count = 0
+        self._pend_op = None
         return self
 
     def resize(self, nrows: int, ncols: int) -> "Matrix":

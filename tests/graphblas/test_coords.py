@@ -1,0 +1,313 @@
+"""Property tests for the packed-coordinate codec and the dual-engine kernels.
+
+The contract under test: for every kernel in :mod:`repro.graphblas._kernels`,
+the packed single-key engine and the dual-key lexsort fallback produce
+bit-identical triples — across value dtypes, duplicate patterns, and boundary
+coordinates (0, 2^32-1, 2^64-1).  The hypothesis suites drive both engines on
+the same inputs via :func:`repro.graphblas.coords.packing_disabled`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HierarchicalMatrix
+from repro.graphblas import Matrix, binary, coords
+from repro.graphblas import _kernels as K
+
+U32_MAX = 2**32 - 1
+U64_MAX = 2**64 - 1
+
+# Coordinate pools biased toward the packing boundaries: small, exactly at the
+# 32-bit edge, just past it, and at the very top of the 64-bit space (which
+# forces the lexsort fallback on both engines).
+coordinate = st.one_of(
+    st.integers(0, 50),
+    st.sampled_from([0, U32_MAX - 1, U32_MAX, U32_MAX + 1]),
+    st.sampled_from([2**40, 2**63, U64_MAX - 1, U64_MAX]),
+)
+
+value_dtype = st.sampled_from([np.float64, np.float32, np.int64, np.uint64, np.int32])
+
+dup_ops = st.sampled_from(["plus", "second", "first", "min", "max", "times"])
+
+
+def make_triples(draw_pairs, dtype):
+    rows = np.array([p[0] for p in draw_pairs], dtype=np.uint64)
+    cols = np.array([p[1] for p in draw_pairs], dtype=np.uint64)
+    vals = (np.arange(rows.size) % 7 + 1).astype(dtype)
+    return rows, cols, vals
+
+
+triple_lists = st.lists(st.tuples(coordinate, coordinate), min_size=0, max_size=120)
+
+
+def assert_triples_equal(a, b):
+    for x, y in zip(a, b):
+        assert x.dtype == y.dtype or x.dtype.kind == y.dtype.kind
+        assert np.array_equal(x, y)
+
+
+class TestCodec:
+    def test_plan_prefers_ipv4_split(self):
+        spec = coords.plan_split(U32_MAX, U32_MAX)
+        assert spec == coords.PackedSpec(32, 32)
+
+    def test_plan_gives_columns_needed_bits(self):
+        spec = coords.plan_split(2**40, 2**20)
+        assert spec is not None
+        assert spec.col_bits == 21  # bit_length(2**20) = 21
+        assert spec.row_bits == 43
+
+    def test_plan_rejects_full_64bit(self):
+        assert coords.plan_split(U64_MAX, 1) is None
+        assert coords.plan_split(2**33, 2**31) is None
+        # Full 64-bit rows always fall back (columns reserve at least one bit).
+        assert coords.plan_split(U64_MAX, 0) is None
+        # 63-bit rows with boolean-sized columns still pack.
+        assert coords.plan_split(2**63 - 1, 1) == coords.PackedSpec(63, 1)
+
+    def test_plan_respects_disable_switch(self):
+        with coords.packing_disabled():
+            assert coords.plan_split(1, 1) is None
+            assert coords.plan_pack(
+                (np.array([1], dtype=np.uint64), np.array([1], dtype=np.uint64))
+            ) is None
+        assert coords.plan_split(1, 1) is not None
+
+    def test_empty_arrays_plan_canonically(self):
+        empty = np.empty(0, dtype=np.uint64)
+        assert coords.plan_pack((empty, empty)) == coords.PackedSpec(32, 32)
+
+    @given(pairs=triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_pack_roundtrip_and_monotonicity(self, pairs):
+        rows = np.array([p[0] for p in pairs], dtype=np.uint64)
+        cols = np.array([p[1] for p in pairs], dtype=np.uint64)
+        spec = coords.plan_pack((rows, cols))
+        if spec is None:
+            return  # coordinates genuinely exceed one 64-bit key
+        keys = coords.pack(rows, cols, spec)
+        r2, c2 = coords.unpack(keys, spec)
+        assert np.array_equal(r2, rows)
+        assert np.array_equal(c2, cols)
+        # Packing preserves lexicographic order exactly.
+        order_lex = np.lexsort((cols, rows))
+        order_key = np.argsort(keys, kind="stable")
+        assert np.array_equal(order_lex, order_key)
+
+
+class TestEngineParity:
+    """Packed engine vs lexsort fallback: bit-identical on every kernel."""
+
+    @given(pairs=triple_lists, dtype=value_dtype, op_name=dup_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_build_triples_parity(self, pairs, dtype, op_name):
+        rows, cols, vals = make_triples(pairs, dtype)
+        op = binary[op_name]
+        packed = K.build_triples(rows, cols, vals, op)
+        with coords.packing_disabled():
+            fallback = K.build_triples(rows, cols, vals, op)
+        assert_triples_equal(packed, fallback)
+
+    @given(pairs=triple_lists, dtype=value_dtype)
+    @settings(max_examples=60, deadline=None)
+    def test_sort_collapse_parity(self, pairs, dtype):
+        rows, cols, vals = make_triples(pairs, dtype)
+        packed = K.collapse_duplicates(*K.sort_coo(rows, cols, vals), binary.plus)
+        with coords.packing_disabled():
+            fallback = K.collapse_duplicates(*K.sort_coo(rows, cols, vals), binary.plus)
+        assert_triples_equal(packed, fallback)
+
+    @given(
+        pairs_a=triple_lists,
+        pairs_b=triple_lists,
+        dtype=value_dtype,
+        op_name=st.sampled_from(["plus", "second", "minus", "min"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_union_merge_parity(self, pairs_a, pairs_b, dtype, op_name):
+        a = K.build_triples(*make_triples(pairs_a, dtype), binary.plus)
+        b = K.build_triples(*make_triples(pairs_b, dtype), binary.plus)
+        op = binary[op_name]
+        packed = K.union_merge(a, b, op)
+        with coords.packing_disabled():
+            fallback = K.union_merge(a, b, op)
+        assert_triples_equal(packed, fallback)
+
+    @given(
+        pairs_a=triple_lists,
+        pairs_b=triple_lists,
+        dtype=value_dtype,
+        op_name=st.sampled_from(["times", "plus", "minus", "eq"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_intersect_merge_parity(self, pairs_a, pairs_b, dtype, op_name):
+        a = K.build_triples(*make_triples(pairs_a, dtype), binary.plus)
+        b = K.build_triples(*make_triples(pairs_b, dtype), binary.plus)
+        op = binary[op_name]
+        packed = K.intersect_merge(a, b, op)
+        with coords.packing_disabled():
+            fallback = K.intersect_merge(a, b, op)
+        assert_triples_equal(packed, fallback)
+
+    @given(pairs_a=triple_lists, pairs_b=triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_membership_mask_parity(self, pairs_a, pairs_b):
+        ra, ca, _ = K.build_triples(*make_triples(pairs_a, np.float64), binary.plus)
+        rb, cb, _ = K.build_triples(*make_triples(pairs_b, np.float64), binary.plus)
+        packed = K.membership_mask(ra, ca, rb, cb)
+        with coords.packing_disabled():
+            fallback = K.membership_mask(ra, ca, rb, cb)
+        assert np.array_equal(packed, fallback)
+
+    @given(pairs=triple_lists, queries=triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_search_sorted_parity(self, pairs, queries):
+        rows, cols, _ = K.build_triples(*make_triples(pairs, np.float64), binary.plus)
+        qr = np.array([q[0] for q in queries], dtype=np.uint64)
+        qc = np.array([q[1] for q in queries], dtype=np.uint64)
+        packed = K.search_sorted_coo(rows, cols, qr, qc)
+        with coords.packing_disabled():
+            fallback = K.search_sorted_coo(rows, cols, qr, qc)
+        assert np.array_equal(packed, fallback)
+        # Cross-check against a dictionary reference.
+        index = {(int(r), int(c)): i for i, (r, c) in enumerate(zip(rows, cols))}
+        expected = np.array(
+            [index.get((int(r), int(c)), -1) for r, c in zip(qr, qc)], dtype=np.int64
+        )
+        assert np.array_equal(packed, expected)
+
+
+class TestMatrixAndHierarchyParity:
+    """End-to-end parity: whole containers built on each engine are equal."""
+
+    @given(pairs=triple_lists, dtype=value_dtype)
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_build_parity(self, pairs, dtype):
+        rows, cols, vals = make_triples(pairs, dtype)
+        a = Matrix(np.dtype(dtype).name.replace("float", "fp"), 2**64, 2**64)
+        a.build(rows, cols, vals)
+        with coords.packing_disabled():
+            b = Matrix(np.dtype(dtype).name.replace("float", "fp"), 2**64, 2**64)
+            b.build(rows, cols, vals)
+            assert a.isequal(b)
+
+    @given(pairs=triple_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_lazy_build_matches_eager(self, pairs):
+        rows, cols, vals = make_triples(pairs, np.float64)
+        lazy = Matrix("fp64", 2**64, 2**64)
+        eager = Matrix("fp64", 2**64, 2**64)
+        # Feed in two chunks so the lazy path exercises multi-batch pending.
+        half = rows.size // 2
+        for lo, hi in ((0, half), (half, rows.size)):
+            if hi > lo:
+                lazy.build(rows[lo:hi], cols[lo:hi], vals[lo:hi], lazy=True)
+                eager.build(rows[lo:hi], cols[lo:hi], vals[lo:hi])
+        assert lazy.isequal(eager)
+
+    def test_deferred_hierarchy_matches_eager(self):
+        rng = np.random.default_rng(5)
+        deferred = HierarchicalMatrix(2**32, 2**32, "fp64", cuts=[50, 400])
+        eager = HierarchicalMatrix(
+            2**32, 2**32, "fp64", cuts=[50, 400], defer_ingest=False
+        )
+        for _ in range(30):
+            n = int(rng.integers(1, 80))
+            rows = rng.integers(0, 500, n, dtype=np.uint64)
+            cols = rng.integers(0, 500, n, dtype=np.uint64)
+            deferred.update(rows, cols, 1.0)
+            eager.update(rows, cols, 1.0)
+        assert deferred.materialize().isequal(eager.materialize())
+
+    def test_lazy_build_non_associative_op_runs_eager(self):
+        """Matrix.build ignores lazy= for non-associative dup_ops (regrouping)."""
+        m = Matrix("fp64", 100, 100)
+        m.build([1], [1], [10.0], dup_op=binary.minus)
+        m.build([1], [1], [5.0], dup_op=binary.minus, lazy=True)
+        m.build([1], [1], [3.0], dup_op=binary.minus, lazy=True)
+        assert not m.has_pending
+        assert m[1, 1] == 2.0  # (10 - 5) - 3, never 10 - (5 - 3)
+
+    def test_non_associative_accum_keeps_eager_semantics(self):
+        """Deferral regroups batches, so minus/div must fall back to eager."""
+        deferred = HierarchicalMatrix(100, 100, "fp64", cuts=[50], accum=binary.minus)
+        eager = HierarchicalMatrix(
+            100, 100, "fp64", cuts=[50], accum=binary.minus, defer_ingest=False
+        )
+        for vals in ([10.0], [5.0], [3.0]):
+            deferred.update([1], [1], vals)
+            eager.update([1], [1], vals)
+        # Sequential left-fold: (10 - 5) - 3, not 10 - (5 - 3).
+        assert deferred[1, 1] == eager[1, 1] == 2.0
+
+    def test_empty_lazy_builds_do_not_accumulate_buffers(self):
+        m = Matrix("fp64", 100, 100)
+        for _ in range(100):
+            m.build([], [], [], lazy=True)
+        assert not m.has_pending
+        assert len(m._pend_rows) == 0
+
+    def test_setelement_interleaved_with_lazy_build(self):
+        """Switching pending operators flushes; replace-then-add semantics hold."""
+        m = Matrix("fp64", 100, 100)
+        m.setElement(1, 1, 5.0)       # pending under `second`
+        m.build([1], [1], [2.0], dup_op=binary.plus, lazy=True)  # flushes, then pends
+        m.setElement(1, 1, 9.0)       # flushes the plus buffer, pends replace
+        assert m[1, 1] == 9.0
+        m.build([1], [1], [4.0], dup_op=binary.plus, lazy=True)
+        assert m[1, 1] == 13.0
+
+
+class TestSearchScaling:
+    def test_point_and_bulk_query_paths_agree(self):
+        """The <=32-query fast path and the vectorised bulk path match."""
+        rng = np.random.default_rng(23)
+        rows, cols, _ = K.build_triples(
+            rng.integers(0, 1000, 2_000, dtype=np.uint64),
+            rng.integers(0, 1000, 2_000, dtype=np.uint64),
+            np.ones(2_000),
+            binary.plus,
+        )
+        qr = rng.integers(0, 1000, 40, dtype=np.uint64)
+        qc = rng.integers(0, 1000, 40, dtype=np.uint64)
+        bulk = K.search_sorted_coo(rows, cols, qr, qc)  # 40 > 32: vectorised
+        one_by_one = np.concatenate(
+            [K.search_sorted_coo(rows, cols, qr[i : i + 1], qc[i : i + 1]) for i in range(40)]
+        )
+        assert np.array_equal(bulk, one_by_one)
+
+    def test_search_sorted_handles_bulk_queries(self):
+        """Regression: >=10k point queries stay vectorised (no per-query loop)."""
+        rng = np.random.default_rng(17)
+        n, nq = 50_000, 20_000
+        rows, cols, _ = K.build_triples(
+            rng.integers(0, 2**32, n, dtype=np.uint64),
+            rng.integers(0, 2**32, n, dtype=np.uint64),
+            np.ones(n),
+            binary.plus,
+        )
+        pick = rng.integers(0, rows.size, nq // 2)
+        qr = np.concatenate([rows[pick], rng.integers(0, 2**32, nq // 2, dtype=np.uint64)])
+        qc = np.concatenate([cols[pick], rng.integers(0, 2**32, nq // 2, dtype=np.uint64)])
+        for force_fallback in (False, True):
+            if force_fallback:
+                with coords.packing_disabled():
+                    start = time.perf_counter()
+                    out = K.search_sorted_coo(rows, cols, qr, qc)
+                    elapsed = time.perf_counter() - start
+            else:
+                start = time.perf_counter()
+                out = K.search_sorted_coo(rows, cols, qr, qc)
+                elapsed = time.perf_counter() - start
+            assert (out[: nq // 2] >= 0).all()
+            assert np.array_equal(rows[out[: nq // 2]], qr[: nq // 2])
+            # Generous bound: quadratic or per-query-loop behaviour would blow
+            # far past this even on slow CI machines.
+            assert elapsed < 2.0

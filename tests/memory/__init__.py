@@ -1,0 +1,1 @@
+"""Test package marker (unique module paths; enables relative imports)."""
