@@ -1,0 +1,153 @@
+"""Strong/weak-scaling benchmark of the sharded streaming engine.
+
+The paper's headline aggregate rate is a sum over independent instances; the
+sharded engine reproduces that sum as one logical matrix.  This harness sweeps
+the shard count two ways and records the trajectory into
+``BENCH_kernels.json``:
+
+* **strong scaling** — a fixed external stream is routed across 1, 2, 4
+  shards; per-shard measured rates are summed (the paper's aggregation) and
+  the single-clock wall rate is recorded alongside.
+* **weak scaling** — the stream grows with the shard count (fixed updates per
+  shard), the paper's actual experimental shape.
+
+Shards run as real worker processes when the platform can fork (matching the
+serving configuration); a correctness gate asserts the sharded result stays
+bit-identical to a flat hierarchical matrix fed the same stream.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalMatrix
+from repro.distributed import ShardedHierarchicalMatrix
+from repro.workloads import paper_stream
+
+from .conftest import scaled, update_bench_json, write_report
+
+pytestmark = pytest.mark.bench
+
+SHARD_COUNTS = [1, 2, 4]
+STRONG_TOTAL = scaled(200_000, minimum=20_000)
+WEAK_PER_SHARD = scaled(100_000, minimum=10_000)
+BATCH = max(STRONG_TOTAL // 20, 1_000)
+CUTS = [2 ** 15, 2 ** 18, 2 ** 21]
+USE_PROCESSES = hasattr(os, "fork")
+
+_strong = {}
+_weak = {}
+
+
+def _run_sharded(nshards: int, total: int):
+    """Route one externally generated stream across nshards; return metrics."""
+    batches = list(paper_stream(total_entries=total, nbatches=max(total // BATCH, 1), seed=7))
+    matrix = ShardedHierarchicalMatrix(
+        nshards,
+        2 ** 32,
+        2 ** 32,
+        cuts=CUTS,
+        use_processes=USE_PROCESSES and nshards > 1,
+    )
+    with matrix:
+        wall_start = time.perf_counter()
+        for batch in batches:
+            matrix.update(batch.rows, batch.cols, batch.values)
+        matrix.finalize()
+        wall = time.perf_counter() - wall_start
+        reports = matrix.reports()
+        nvals = matrix.materialize().nvals
+    total_updates = sum(r.total_updates for r in reports)
+    return {
+        "shards": nshards,
+        "total_updates": total_updates,
+        "wall_seconds": round(wall, 6),
+        "rate_sum": round(sum(r.updates_per_second for r in reports), 1),
+        "rate_wall": round(total_updates / wall if wall > 0 else 0.0, 1),
+        "global_nvals": nvals,
+    }
+
+
+class TestShardedScaling:
+    def test_equivalence_gate(self, benchmark):
+        """Before timing anything: sharded == flat on this workload."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        total = min(STRONG_TOTAL, 20_000)
+        batches = list(paper_stream(total_entries=total, nbatches=10, seed=7))
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for b in batches:
+            flat.update(b.rows, b.cols, b.values)
+        with ShardedHierarchicalMatrix(4, cuts=CUTS) as sharded:
+            for b in batches:
+                sharded.update(b.rows, b.cols, b.values)
+            assert sharded.materialize().isequal(flat.materialize())
+
+    @pytest.mark.parametrize("nshards", SHARD_COUNTS)
+    def test_strong_scaling(self, benchmark, nshards):
+        """Fixed stream of STRONG_TOTAL updates, swept over shard counts."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        _strong[nshards] = _run_sharded(nshards, STRONG_TOTAL)
+        assert _strong[nshards]["total_updates"] == STRONG_TOTAL
+
+    @pytest.mark.parametrize("nshards", SHARD_COUNTS)
+    def test_weak_scaling(self, benchmark, nshards):
+        """Stream grows with the shard count: WEAK_PER_SHARD updates each."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        _weak[nshards] = _run_sharded(nshards, WEAK_PER_SHARD * nshards)
+        assert _weak[nshards]["total_updates"] == WEAK_PER_SHARD * nshards
+
+    def test_zz_scaling_report(self, benchmark, results_dir):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert len(_strong) == len(SHARD_COUNTS)
+        assert len(_weak) == len(SHARD_COUNTS)
+        header = (
+            f"{'shards':>7} {'updates':>12} {'wall s':>9} "
+            f"{'rate sum':>14} {'rate wall':>14}"
+        )
+        lines = [
+            "Sharded streaming engine scaling "
+            f"(processes={USE_PROCESSES}, batch={BATCH:,}, cuts={CUTS})",
+            "",
+            f"strong scaling: {STRONG_TOTAL:,} total updates, externally fed",
+            header,
+            "-" * len(header),
+        ]
+        for k in SHARD_COUNTS:
+            m = _strong[k]
+            lines.append(
+                f"{m['shards']:>7} {m['total_updates']:>12,} {m['wall_seconds']:>9.3f} "
+                f"{m['rate_sum']:>14,.0f} {m['rate_wall']:>14,.0f}"
+            )
+        lines += [
+            "",
+            f"weak scaling: {WEAK_PER_SHARD:,} updates per shard",
+            header,
+            "-" * len(header),
+        ]
+        for k in SHARD_COUNTS:
+            m = _weak[k]
+            lines.append(
+                f"{m['shards']:>7} {m['total_updates']:>12,} {m['wall_seconds']:>9.3f} "
+                f"{m['rate_sum']:>14,.0f} {m['rate_wall']:>14,.0f}"
+            )
+        lines += [
+            "",
+            "rate sum is the paper's aggregation (independent per-shard clocks);",
+            "rate wall is the stricter single-clock rate including routing and IPC.",
+        ]
+        write_report(results_dir, "sharded_scaling", lines)
+        update_bench_json(
+            results_dir,
+            "sharded",
+            {
+                "use_processes": USE_PROCESSES,
+                "batch_size": BATCH,
+                "cuts": CUTS,
+                "strong": [_strong[k] for k in SHARD_COUNTS],
+                "weak": [_weak[k] for k in SHARD_COUNTS],
+            },
+        )

@@ -1,13 +1,16 @@
 """Command-line entry points.
 
-Three commands mirror the paper's experiments:
+Four commands mirror the paper's experiments and the serving architecture:
 
 * ``repro-ingest`` — measure the single-instance streaming update rate
   (Headline A: "over 1,000,000 updates per second in a single instance");
 * ``repro-scaling`` — run the local parallel ingest engine and report the
   aggregate rate across worker processes;
 * ``repro-fig2`` — print the full Figure 2 table (measured+modelled series next
-  to the published reference curves).
+  to the published reference curves);
+* ``repro-shard`` — shard one externally supplied stream (power-law edges,
+  synthetic packet traffic, or a replayed triple file) across K worker shards
+  and report per-shard and aggregate rates plus the globally merged matrix.
 
 Every command prints plain aligned text so output can be diffed against
 ``EXPERIMENTS.md``.
@@ -18,6 +21,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+
+import numpy as np
 from typing import List, Optional, Sequence
 
 from .baselines import (
@@ -29,13 +35,42 @@ from .core import HierarchicalMatrix
 from .distributed import (
     ClusterConfig,
     ParallelIngestEngine,
+    ShardedHierarchicalMatrix,
     SuperCloudModel,
     build_figure2_table,
     format_table,
 )
-from .workloads import IngestSession, paper_stream
+from .workloads import (
+    IngestSession,
+    batched,
+    normalize_batch,
+    paper_stream,
+    synthetic_packets,
+)
 
-__all__ = ["main_ingest", "main_scaling", "main_fig2"]
+__all__ = ["main_ingest", "main_scaling", "main_fig2", "main_shard"]
+
+
+def _exact_stream(batches, total: int):
+    """Trim a batch stream to exactly ``total`` updates (partial final batch).
+
+    Synthetic generators emit whole windows/batches; requesting 1,000 updates
+    at a 10,000-packet window must not stream 10,000 — the same rounding class
+    of measurement bug the fixed ``ingest_worker`` no longer has.
+    """
+    remaining = int(total)
+    for batch in batches:
+        if remaining <= 0:
+            break
+        rows, cols, values = normalize_batch(batch)
+        n = int(np.asarray(rows).size)
+        if n > remaining:
+            rows, cols = rows[:remaining], cols[:remaining]
+            if not np.isscalar(values):
+                values = values[:remaining]
+            n = remaining
+        yield rows, cols, values
+        remaining -= n
 
 
 def _parse_cuts(text: str) -> List[int]:
@@ -182,6 +217,124 @@ def main_fig2(argv: Optional[Sequence[str]] = None) -> int:
         }
     )
     print(format_table(rows))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-shard
+# --------------------------------------------------------------------------- #
+
+
+def main_shard(argv: Optional[Sequence[str]] = None) -> int:
+    """Shard one external stream across K worker shards and report rates."""
+    parser = argparse.ArgumentParser(
+        prog="repro-shard",
+        description="Route an externally supplied stream (power-law edges, synthetic "
+        "packet traffic, or a replayed triple file) across K hierarchical shards, "
+        "then merge and sanity-check the global matrix.",
+    )
+    parser.add_argument("--shards", type=int, default=2, help="number of shards K")
+    parser.add_argument(
+        "--partition", choices=["hash", "range"], default="hash",
+        help="coordinate partitioning strategy",
+    )
+    parser.add_argument(
+        "--source", choices=["powerlaw", "traffic"], default="powerlaw",
+        help="synthetic stream to shard (ignored with --replay)",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="replay a row<TAB>col<TAB>value triple file as the stream",
+    )
+    parser.add_argument("--updates", type=int, default=100_000, help="total element updates")
+    parser.add_argument("--batch-size", type=int, default=10_000, help="updates per stream batch")
+    parser.add_argument(
+        "--cuts", type=_parse_cuts, default=[2 ** 17, 2 ** 20, 2 ** 23]
+    )
+    parser.add_argument(
+        "--processes", action="store_true",
+        help="back shards with long-lived worker processes (default: in-process)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        from .graphblas.io import read_triples_arrays
+
+        rows, cols, vals = read_triples_arrays(args.replay)
+        stream = batched(rows, cols, vals, batch_size=args.batch_size)
+    elif args.source == "traffic":
+        nwindows = max(-(-args.updates // args.batch_size), 1)
+        stream = _exact_stream(
+            synthetic_packets(args.batch_size, nwindows, seed=args.seed),
+            args.updates,
+        )
+    else:
+        nbatches = max(-(-args.updates // args.batch_size), 1)
+        stream = _exact_stream(
+            paper_stream(
+                total_entries=nbatches * args.batch_size,
+                nbatches=nbatches,
+                seed=args.seed,
+            ),
+            args.updates,
+        )
+
+    matrix = ShardedHierarchicalMatrix(
+        args.shards,
+        2 ** 32,
+        2 ** 32,
+        cuts=args.cuts,
+        partition=args.partition,
+        use_processes=args.processes,
+    )
+    with matrix:
+        wall_start = time.perf_counter()
+        total = matrix.ingest(stream)
+        matrix.finalize()
+        wall = time.perf_counter() - wall_start
+        reports = matrix.reports()
+        nvals = matrix.materialize().nvals
+    rate_sum = sum(r.updates_per_second for r in reports)
+    rate_wall = total / wall if wall > 0 else 0.0
+
+    if args.json:
+        payload = {
+            "shards": args.shards,
+            "partition": args.partition,
+            "source": "replay" if args.replay else args.source,
+            "total_updates": total,
+            "wall_seconds": wall,
+            "aggregate_rate_sum": rate_sum,
+            "aggregate_rate_wall": rate_wall,
+            "global_nvals": nvals,
+            "per_shard": [
+                {
+                    "shard": r.worker_id,
+                    "updates": r.total_updates,
+                    "seconds": r.elapsed_seconds,
+                    "updates_per_second": r.updates_per_second,
+                    "nvals": r.final_nvals,
+                }
+                for r in reports
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"shards:                {args.shards} ({args.partition} partition)")
+        print(f"source:                {'replay ' + args.replay if args.replay else args.source}")
+        print(f"total updates:         {total:,}")
+        print(f"wall seconds:          {wall:.3f}")
+        print(f"{'shard':>8} {'updates':>12} {'seconds':>10} {'updates/s':>14}")
+        for r in reports:
+            print(
+                f"{r.worker_id:>8} {r.total_updates:>12,} "
+                f"{r.elapsed_seconds:>10.3f} {r.updates_per_second:>14,.0f}"
+            )
+        print(f"aggregate rate (sum):  {rate_sum:,.0f} updates/s")
+        print(f"aggregate rate (wall): {rate_wall:,.0f} updates/s")
+        print(f"global nvals:          {nvals:,}")
     return 0
 
 

@@ -1,8 +1,11 @@
-"""Distributed-scaling substrate: the SuperCloud model, the local parallel
-ingest engine, and the Figure 2 table assembly."""
+"""Distributed-scaling substrate: the SuperCloud model, the persistent shard
+worker pool, the sharded hierarchical matrix, the local parallel ingest
+engine, and the Figure 2 table assembly."""
 
 from .aggregate import DEFAULT_SERVER_COUNTS, Figure2Row, build_figure2_table, format_table
-from .engine import ParallelIngestEngine, ParallelIngestResult, WorkerReport, ingest_worker
+from .engine import ParallelIngestEngine, ParallelIngestResult, ingest_worker
+from .pool import ShardWorkerPool, WorkerCrash, WorkerReport, stream_powerlaw
+from .sharded import ShardRouter, ShardedHierarchicalMatrix
 from .supercloud import ClusterConfig, ScalingPoint, SuperCloudModel
 
 __all__ = [
@@ -12,7 +15,12 @@ __all__ = [
     "ParallelIngestEngine",
     "ParallelIngestResult",
     "WorkerReport",
+    "WorkerCrash",
     "ingest_worker",
+    "stream_powerlaw",
+    "ShardWorkerPool",
+    "ShardRouter",
+    "ShardedHierarchicalMatrix",
     "Figure2Row",
     "build_figure2_table",
     "format_table",

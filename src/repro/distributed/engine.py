@@ -2,58 +2,44 @@
 
 The paper's scaling experiment launches many independent processes, each
 streaming its own power-law graph into its own hierarchical hypersparse
-matrix.  This module reproduces that structure faithfully on one machine with
-:mod:`multiprocessing`: every worker process owns a private
-:class:`~repro.core.HierarchicalMatrix`, generates its own shard of the
-workload, streams it, and reports its measured update rate; the engine sums
-the per-worker rates exactly the way the paper sums per-process rates across
-the SuperCloud.  The same worker function doubles as the per-instance rate
-measurement that :class:`~repro.distributed.supercloud.SuperCloudModel`
+matrix.  This module reproduces that structure on one machine, running on top
+of the persistent :class:`~repro.distributed.pool.ShardWorkerPool` — the
+self-generated workload of the paper is dispatched to the long-lived workers
+as one stream source among several (externally fed streams go through
+:class:`~repro.distributed.sharded.ShardedHierarchicalMatrix` on the same
+pool).  Every worker owns a private :class:`~repro.core.HierarchicalMatrix`,
+streams its shard of the workload, and reports its measured update rate; the
+engine sums per-worker rates exactly the way the paper sums per-process rates
+across the SuperCloud.  The same worker function doubles as the per-instance
+rate measurement that :class:`~repro.distributed.supercloud.SuperCloudModel`
 extrapolates from.
+
+Measurement fidelity (fixed in PR 2): a worker streams *exactly*
+``total_updates`` elements — the remainder batch is no longer silently
+dropped (and small requests no longer round up to a full batch) — and the
+deferred layer-1 flush is forced inside the timed section, so
+``updates_per_second`` pays for the pending-tuple sort/merge the stream
+deferred instead of hiding it in the untimed ``materialize``.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core import HierarchicalMatrix
-from ..workloads.powerlaw import powerlaw_edges
+from .pool import ShardWorkerPool, WorkerReport, stream_powerlaw
 
-__all__ = ["WorkerReport", "ParallelIngestResult", "ingest_worker", "ParallelIngestEngine"]
-
-
-@dataclass(frozen=True)
-class WorkerReport:
-    """Result of one worker process's ingest.
-
-    Attributes
-    ----------
-    worker_id:
-        0-based worker index.
-    total_updates:
-        Element updates streamed by this worker.
-    elapsed_seconds:
-        Wall-clock time spent inside ``update`` calls.
-    updates_per_second:
-        This worker's measured rate.
-    final_nvals:
-        Stored entries in the worker's materialised matrix (sanity check).
-    cascades:
-        Per-layer cascade counts.
-    """
-
-    worker_id: int
-    total_updates: int
-    elapsed_seconds: float
-    updates_per_second: float
-    final_nvals: int
-    cascades: List[int] = field(default_factory=list)
+__all__ = [
+    "WorkerReport",
+    "ParallelIngestResult",
+    "ingest_worker",
+    "ParallelIngestEngine",
+]
 
 
 @dataclass
@@ -107,29 +93,24 @@ def ingest_worker(
 ) -> WorkerReport:
     """Run one complete per-process ingest (the unit of the paper's experiment).
 
-    Generates ``total_updates`` power-law edges in ``batch_size`` batches and
-    streams them into a private hierarchical hypersparse matrix, timing only
-    the update path (generation time is excluded, as in the paper where data
-    already resides in memory arrays before the timed insert loop).
+    Generates exactly ``total_updates`` power-law edges in ``batch_size``
+    batches (the last batch partial when needed) and streams them into a
+    private hierarchical hypersparse matrix, timing the update path plus the
+    forced final flush of deferred pending tuples; generation time is
+    excluded, as in the paper where data already resides in memory arrays
+    before the timed insert loop.
     """
     matrix = HierarchicalMatrix(nnodes, nnodes, "fp64", cuts=list(cuts))
-    rng_seed = (seed if seed is not None else 0) + worker_id * 1_000_003
-    nbatches = max(total_updates // batch_size, 1)
-    elapsed = 0.0
-    done = 0
-    for b in range(nbatches):
-        rows, cols = powerlaw_edges(
-            batch_size,
-            alpha=alpha,
-            nnodes=nnodes,
-            distinct_nodes=distinct_nodes,
-            seed=rng_seed + b,
-        )
-        values = np.ones(batch_size, dtype=np.float64)
-        start = time.perf_counter()
-        matrix.update(rows, cols, values)
-        elapsed += time.perf_counter() - start
-        done += batch_size
+    done, elapsed = stream_powerlaw(
+        matrix,
+        worker_id,
+        total_updates,
+        batch_size,
+        nnodes=nnodes,
+        alpha=alpha,
+        distinct_nodes=distinct_nodes,
+        seed=seed,
+    )
     rate = done / elapsed if elapsed > 0 else 0.0
     stats = matrix.stats
     return WorkerReport(
@@ -142,14 +123,12 @@ def ingest_worker(
     )
 
 
-def _worker_entry(args) -> WorkerReport:
-    """Pickle-friendly wrapper used by the process pool."""
-    worker_id, total_updates, batch_size, cuts, kwargs = args
-    return ingest_worker(worker_id, total_updates, batch_size, cuts, **kwargs)
-
-
 class ParallelIngestEngine:
-    """Runs many independent ingest workers and aggregates their rates.
+    """Runs many self-generating ingest workers and aggregates their rates.
+
+    Workers are the persistent pool's long-lived shard workers executing the
+    ``selfgen`` command, so the measured configuration matches the serving
+    path (same worker loop, same queues) rather than a one-shot ``pool.map``.
 
     Parameters
     ----------
@@ -190,17 +169,25 @@ class ParallelIngestEngine:
         **worker_kwargs,
     ) -> ParallelIngestResult:
         """Run the parallel ingest and aggregate worker reports."""
-        args = [
-            (w, int(updates_per_worker), int(batch_size), self.cuts, worker_kwargs)
-            for w in range(self.nworkers)
-        ]
+        nnodes = int(worker_kwargs.get("nnodes", 2 ** 32))
+        spec = {
+            "total_updates": int(updates_per_worker),
+            "batch_size": int(batch_size),
+            **worker_kwargs,
+        }
+        matrix_kwargs = {
+            "nrows": nnodes,
+            "ncols": nnodes,
+            "dtype": "fp64",
+            "cuts": self.cuts,
+        }
         wall_start = time.perf_counter()
-        if self.use_processes and self.nworkers > 1:
-            ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context("spawn")
-            with ctx.Pool(processes=self.nworkers) as pool:
-                reports = pool.map(_worker_entry, args)
-        else:
-            reports = [_worker_entry(a) for a in args]
+        with ShardWorkerPool(
+            self.nworkers,
+            matrix_kwargs=matrix_kwargs,
+            use_processes=self.use_processes and self.nworkers > 1,
+        ) as pool:
+            reports = pool.request_all("selfgen", spec)
         wall = time.perf_counter() - wall_start
         total = sum(r.total_updates for r in reports)
         rate_sum = sum(r.updates_per_second for r in reports)

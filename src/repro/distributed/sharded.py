@@ -1,0 +1,428 @@
+"""Sharded hierarchical hypersparse matrices over the persistent worker pool.
+
+The paper's headline 75B updates/s is a *sum over many independent
+hierarchical-matrix instances*; this module turns that sum into one logical
+matrix.  A :class:`ShardedHierarchicalMatrix` partitions the coordinate space
+across K shards, each shard owning a private
+:class:`~repro.core.HierarchicalMatrix` with deferred layer-1 ingest, and
+routes every externally supplied stream batch to the shards that own its
+coordinates.  Because routing is a pure function of ``(row, col)``, every
+update for a given coordinate lands on the same shard *in stream order*, the
+shards' stored coordinate sets are pairwise disjoint, and the globally merged
+result is exactly the matrix a single flat hierarchy would have produced from
+the same stream (bit-identical for any exactly representable values, e.g. the
+packet/byte counts of the traffic workload — property-tested in
+``tests/distributed/test_sharded.py`` across shard counts and both coordinate
+engines).
+
+Routing reuses the PR-1 packed-coordinate codec: whenever the logical shape
+fits a 64-bit split (:func:`repro.graphblas.coords.shape_split` — always true
+for the IPv4 :math:`2^{32} \\times 2^{32}` traffic matrices), the shard key is
+the packed ``uint64`` ``(row << col_bits) | col``; hash partitioning mixes it
+through splitmix64, range partitioning divides the occupied key space into K
+contiguous slabs (preserving locality for range analytics).  Full 64-bit IPv6
+shapes fall back to hashing the raw coordinates / range-partitioning rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..graphblas import Matrix, Vector, coords
+from ..graphblas import _kernels as K
+from ..graphblas.binaryop import BinaryOp, binary
+from ..graphblas.errors import DimensionMismatch, InvalidValue
+from ..graphblas.types import DataType, lookup_dtype
+from ..workloads.powerlaw import _splitmix64
+from ..workloads.stream import normalize_batch
+from .pool import ShardWorkerPool, WorkerReport
+
+__all__ = ["ShardRouter", "ShardedHierarchicalMatrix"]
+
+_KEY_BITS = 64
+
+
+class ShardRouter:
+    """Deterministic ``(row, col) -> shard`` routing over the packed-key codec.
+
+    Parameters
+    ----------
+    nshards:
+        Number of shards K.
+    nrows, ncols:
+        Logical shape of the sharded matrix; fixes the bit split once so every
+        batch routes identically.
+    partition:
+        ``"hash"`` (splitmix64 of the packed key, load-balancing) or
+        ``"range"`` (contiguous slabs of the packed key space, locality
+        preserving).
+
+    Notes
+    -----
+    The split comes from :func:`repro.graphblas.coords.shape_split`, which
+    ignores the global packing toggle — disabling the packed kernels for
+    benchmarking never changes which shard owns a coordinate.
+    """
+
+    def __init__(
+        self,
+        nshards: int,
+        *,
+        nrows: int = 2 ** 32,
+        ncols: int = 2 ** 32,
+        partition: str = "hash",
+    ):
+        self.nshards = int(nshards)
+        if self.nshards < 1:
+            raise InvalidValue("nshards must be >= 1")
+        if partition not in ("hash", "range"):
+            raise InvalidValue(f"partition must be 'hash' or 'range', got {partition!r}")
+        self.partition = partition
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.spec = coords.shape_split(self.nrows, self.ncols)
+        if partition == "range":
+            if self.spec is not None:
+                # Divide the *occupied* key space (nrows << col_bits), not the
+                # full 2^64, so small shapes still balance across shards.
+                keyspace = self.nrows << self.spec.col_bits
+            else:
+                # Unpackable shapes slab the occupied row space [0, nrows);
+                # dividing the full 2^64 here would route every row of e.g. a
+                # 2^33 x 2^33 shape to shard 0.
+                keyspace = self.nrows
+            self._chunk = -(-keyspace // self.nshards)  # ceil division
+        else:
+            self._chunk = 0
+
+    def shard_of(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Shard index of each coordinate pair (vectorised, int64)."""
+        if self.nshards == 1:
+            return np.zeros(rows.size, dtype=np.int64)
+        if self.spec is not None:
+            keys = coords.pack(rows, cols, self.spec)
+        else:
+            keys = None
+        if self.partition == "hash":
+            if keys is None:
+                with np.errstate(over="ignore"):
+                    keys = rows + _splitmix64(cols)
+            return (_splitmix64(keys) % np.uint64(self.nshards)).astype(np.int64)
+        slab_key = keys if keys is not None else rows
+        shard = (slab_key // np.uint64(self._chunk)).astype(np.int64)
+        return np.minimum(shard, self.nshards - 1)
+
+
+class ShardedHierarchicalMatrix:
+    """One logical hierarchical hypersparse matrix partitioned across K shards.
+
+    Each shard is a private :class:`~repro.core.HierarchicalMatrix` owned by a
+    long-lived worker (a separate process when ``use_processes=True``, an
+    in-process state otherwise) fed batches over queues, so external streams —
+    packet windows, session batches, replayed triple files — can be routed,
+    ingested at streaming rates, and then queried globally.
+
+    Parameters
+    ----------
+    nshards:
+        Number of shards.
+    nrows, ncols:
+        Logical dimensions (default the IPv4 :math:`2^{32} \\times 2^{32}`
+        traffic-matrix space).
+    dtype:
+        GraphBLAS value type of every shard.
+    cuts:
+        Hierarchical cut thresholds forwarded to every shard.
+    accum:
+        Combining operator (name or :class:`BinaryOp`; default ``plus``).
+        Crosses the process boundary by registry name.
+    partition:
+        ``"hash"`` or ``"range"`` coordinate partitioning (see
+        :class:`ShardRouter`).
+    use_processes:
+        Back shards with long-lived worker processes (streaming parallelism)
+        instead of in-process shard states (zero IPC; the default, right for
+        tests and single-core machines).
+    defer_ingest / track_stats:
+        Forwarded to every shard's :class:`~repro.core.HierarchicalMatrix`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> S = ShardedHierarchicalMatrix(2, cuts=[100, 1000])
+    >>> S.update([1, 2, 3], [4, 5, 6], 1.0)
+    >>> S.update(1, 4, 2.0)
+    >>> S.get(1, 4)
+    3.0
+    >>> S.materialize().nvals
+    3
+    """
+
+    def __init__(
+        self,
+        nshards: int,
+        nrows: int = 2 ** 32,
+        ncols: int = 2 ** 32,
+        dtype="fp64",
+        *,
+        cuts: Optional[Sequence[int]] = None,
+        accum: Union[BinaryOp, str, None] = None,
+        partition: str = "hash",
+        use_processes: bool = False,
+        defer_ingest: bool = True,
+        track_stats: bool = True,
+        name: str = "",
+    ):
+        self._router = ShardRouter(
+            nshards, nrows=nrows, ncols=ncols, partition=partition
+        )
+        self._dtype: DataType = lookup_dtype(dtype)
+        accum_name = accum if isinstance(accum, str) else (
+            accum.name if accum is not None else None
+        )
+        self._accum = binary[accum_name] if accum_name is not None else binary.plus
+        matrix_kwargs = {
+            "nrows": int(nrows),
+            "ncols": int(ncols),
+            "dtype": self._dtype.name,
+            "defer_ingest": bool(defer_ingest),
+            "track_stats": bool(track_stats),
+        }
+        if cuts is not None:
+            matrix_kwargs["cuts"] = [int(c) for c in cuts]
+        if accum_name is not None:
+            matrix_kwargs["accum"] = accum_name
+        self._pool = ShardWorkerPool(
+            nshards, matrix_kwargs=matrix_kwargs, use_processes=use_processes
+        )
+        self._total_updates = 0
+        self._batches = 0
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nshards(self) -> int:
+        """Number of shards K."""
+        return self._router.nshards
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows of the logical matrix."""
+        return self._router.nrows
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns of the logical matrix."""
+        return self._router.ncols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self._router.nrows, self._router.ncols)
+
+    @property
+    def dtype(self) -> DataType:
+        """Value type of every shard."""
+        return self._dtype
+
+    @property
+    def partition(self) -> str:
+        """Partitioning strategy in force (``"hash"`` or ``"range"``)."""
+        return self._router.partition
+
+    @property
+    def router(self) -> ShardRouter:
+        """The coordinate router (deterministic per shape/partition)."""
+        return self._router
+
+    @property
+    def total_updates(self) -> int:
+        """Element updates routed so far."""
+        return self._total_updates
+
+    @property
+    def batches_ingested(self) -> int:
+        """Stream batches routed so far."""
+        return self._batches
+
+    @property
+    def nvals(self) -> int:
+        """Exact number of logical entries (materialises across shards)."""
+        return self.materialize().nvals
+
+    # ------------------------------------------------------------------ #
+    # streaming updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, rows, cols, values=1) -> "ShardedHierarchicalMatrix":
+        """Route one batch of triples to its owning shards.
+
+        ``values`` may be an array (one per coordinate) or a scalar broadcast
+        over the batch; scalar row/col coordinates are accepted like
+        :meth:`HierarchicalMatrix.update`.  Shard-local update time is
+        accumulated worker-side; see :meth:`finalize` / :meth:`reports`.
+        """
+        r = K.as_index_array(rows, "rows")
+        c = K.as_index_array(cols, "cols")
+        if r.size != c.size:
+            raise DimensionMismatch(
+                f"row and column index arrays differ in length ({r.size} vs {c.size})"
+            )
+        if r.size == 0:
+            return self
+        scalar = np.isscalar(values) or (
+            isinstance(values, np.ndarray) and values.ndim == 0
+        )
+        v = None if scalar else np.asarray(values)
+        if v is not None and v.size != r.size:
+            raise DimensionMismatch(
+                f"values length {v.size} does not match index length {r.size}"
+            )
+        shard = self._router.shard_of(r, c)
+        for s in range(self.nshards):
+            mask = shard == s
+            if not mask.any():
+                continue
+            sub_values = values if v is None else v[mask]
+            self._pool.submit(s, "ingest", (r[mask], c[mask], sub_values))
+        self._total_updates += int(r.size)
+        self._batches += 1
+        return self
+
+    def ingest(self, batches, *, max_batches: Optional[int] = None) -> int:
+        """Route an entire stream; returns the number of updates ingested.
+
+        ``batches`` may yield :class:`~repro.workloads.powerlaw.EdgeBatch`,
+        :class:`~repro.workloads.traffic.PacketBatch`, or plain
+        ``(rows, cols[, values])`` tuples — the same protocol as
+        :meth:`IngestSession.run <repro.workloads.stream.IngestSession.run>`.
+        """
+        before = self._total_updates
+        count = 0
+        for batch in batches:
+            if max_batches is not None and count >= max_batches:
+                break
+            rows, cols, values = normalize_batch(batch)
+            self.update(rows, cols, values)
+            count += 1
+        return self._total_updates - before
+
+    def finalize(self) -> List[dict]:
+        """Barrier: drain every shard's queue and force its deferred flush.
+
+        The flush happens inside each worker's timed section, so per-shard
+        ``elapsed_seconds`` afterwards reflect the full ingest cost.  Returns
+        one ``{"total_updates", "elapsed_seconds"}`` dict per shard.
+        """
+        return self._pool.request_all("finalize")
+
+    # ------------------------------------------------------------------ #
+    # global queries
+    # ------------------------------------------------------------------ #
+
+    def materialize(self) -> Matrix:
+        """Merge every shard into one hypersparse matrix.
+
+        Shards own pairwise-disjoint coordinate sets, so the merge never
+        combines values across shards and the result is exactly the matrix a
+        single flat :class:`~repro.core.HierarchicalMatrix` would produce from
+        the same stream.
+        """
+        triples = self._pool.request_all("materialize")
+        rows = np.concatenate([t[0] for t in triples])
+        cols = np.concatenate([t[1] for t in triples])
+        vals = np.concatenate([t[2] for t in triples])
+        out = Matrix(self._dtype, self.nrows, self.ncols, name=f"{self.name}merged")
+        if rows.size:
+            out.build(
+                rows,
+                cols,
+                vals.astype(self._dtype.np_type, copy=False),
+                dup_op=self._accum,
+            )
+        return out
+
+    def get(self, row: int, col: int, default=None):
+        """Read one logical element from the shard that owns it."""
+        r = K.as_index_array([row], "row")
+        c = K.as_index_array([col], "col")
+        shard = int(self._router.shard_of(r, c)[0])
+        value = self._pool.request(shard, "get", (int(row), int(col)))
+        return default if value is None else value
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple) and len(key) == 2:
+            return self.get(int(key[0]), int(key[1]))
+        raise TypeError("ShardedHierarchicalMatrix indexing requires a (row, col) pair")
+
+    def __contains__(self, key) -> bool:
+        return self.get(int(key[0]), int(key[1])) is not None
+
+    def _reduce(self, axis: str, op) -> Vector:
+        op_name = op if isinstance(op, str) else getattr(op, "name", "plus")
+        partials = self._pool.request_all("reduce", (axis, op_name))
+        from ..graphblas.monoid import monoid
+
+        dup_op = monoid[op_name].op
+        size = self.nrows if axis == "row" else self.ncols
+        out = Vector(self._dtype, size)
+        for indices, vals in partials:
+            if indices.size:
+                out.build(indices, vals, dup_op=dup_op)
+        return out
+
+    def reduce_rowwise(self, op="plus") -> Vector:
+        """Row reduction merged across shards (monoid ``op``, default plus).
+
+        Each shard reduces the rows it stores; the partial vectors are merged
+        with the same monoid.  Hash partitioning spreads one row over many
+        shards, so cross-shard merging is what makes the result global.
+        """
+        return self._reduce("row", op)
+
+    def reduce_columnwise(self, op="plus") -> Vector:
+        """Column reduction merged across shards (monoid ``op``, default plus)."""
+        return self._reduce("col", op)
+
+    # ------------------------------------------------------------------ #
+    # measurement and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def reports(self) -> List[WorkerReport]:
+        """Per-shard measurement snapshots (updates, timed seconds, rate)."""
+        return self._pool.request_all("report")
+
+    @property
+    def aggregate_rate_sum(self) -> float:
+        """Sum of per-shard measured rates — the paper's aggregation."""
+        return float(sum(r.updates_per_second for r in self.reports()))
+
+    def clear(self) -> "ShardedHierarchicalMatrix":
+        """Empty every shard and reset the routed-update counters."""
+        self._pool.request_all("clear")
+        self._total_updates = 0
+        self._batches = 0
+        return self
+
+    def close(self) -> None:
+        """Shut the worker pool down; the matrix is unusable afterwards."""
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedHierarchicalMatrix":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<ShardedHierarchicalMatrix{label} {self.nrows}x{self.ncols} "
+            f"{self._dtype.name}, shards={self.nshards}, "
+            f"partition={self.partition!r}, updates={self._total_updates}>"
+        )

@@ -41,6 +41,7 @@ __all__ = [
     "PackedSpec",
     "plan_split",
     "plan_pack",
+    "shape_split",
     "pack",
     "unpack",
     "packing_enabled",
@@ -151,6 +152,24 @@ def plan_pack(*coord_pairs: Tuple[np.ndarray, np.ndarray]) -> Optional[PackedSpe
             max_row = max(max_row, int(rows.max()))
             max_col = max(max_col, int(cols.max()))
     return plan_split(max_row, max_col)
+
+
+def shape_split(nrows: int, ncols: int) -> Optional[PackedSpec]:
+    """Choose a split covering a fixed ``nrows x ncols`` shape, or None.
+
+    Unlike :func:`plan_split` this ignores the global packing toggle: the
+    result is a pure function of the shape.  Shard routing uses it so that the
+    shard owning a coordinate never depends on a per-process performance flag
+    — the packed kernels may be disabled for benchmarking while the routing
+    keys stay byte-for-byte identical.
+    """
+    row_bits = max(int(nrows - 1).bit_length(), 1)
+    col_bits = max(int(ncols - 1).bit_length(), 1)
+    if row_bits + col_bits > _KEY_BITS:
+        return None
+    if row_bits <= DEFAULT_ROW_BITS and col_bits <= _KEY_BITS - DEFAULT_ROW_BITS:
+        return IPV4_SPEC
+    return PackedSpec(_KEY_BITS - col_bits, col_bits)
 
 
 def pack(rows: np.ndarray, cols: np.ndarray, spec: PackedSpec) -> np.ndarray:

@@ -23,6 +23,7 @@ __all__ = [
     "mmread",
     "write_triples",
     "read_triples",
+    "read_triples_arrays",
     "random_hypersparse",
 ]
 
@@ -137,6 +138,37 @@ def read_triples(
             nrows=nrows,
             ncols=ncols,
             dup_op=dup_op,
+        )
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_triples_arrays(
+    source: Union[PathLike, TextIO], *, sep: str = "\t"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read ``row<sep>col<sep>value`` triples as raw coordinate arrays.
+
+    Unlike :func:`read_triples` this performs no duplicate collapse, so a
+    recorded traffic capture replays as the original update *stream* —
+    duplicates and ordering intact — which is what the sharded ingest CLI
+    needs to re-feed a file through the streaming path.
+    """
+    fh, should_close = _open(source, "r")
+    try:
+        rows, cols, vals = [], [], []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            r, c, v = line.split(sep)
+            rows.append(int(r))
+            cols.append(int(c))
+            vals.append(float(v))
+        return (
+            np.asarray(rows, dtype=np.uint64),
+            np.asarray(cols, dtype=np.uint64),
+            np.asarray(vals, dtype=np.float64),
         )
     finally:
         if should_close:

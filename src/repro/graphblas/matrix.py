@@ -808,12 +808,32 @@ class Matrix:
         out._vals = self._vals[keep]
         return out
 
+    @staticmethod
+    def _selection_occurrences(sel: np.ndarray, coords: np.ndarray):
+        """Locate every occurrence of each coordinate inside a selection list.
+
+        Returns ``(positions, lo, counts)``: ``positions`` is the argsort of
+        ``sel`` (so ``positions[lo[k] + i]`` is the i-th occurrence of
+        ``coords[k]`` within ``sel``) and ``counts[k]`` the occurrence count.
+        ``coords`` must already be filtered to members of ``sel``.
+        """
+        positions = np.argsort(sel, kind="stable")
+        sorted_sel = sel[positions]
+        lo = np.searchsorted(sorted_sel, coords, side="left")
+        hi = np.searchsorted(sorted_sel, coords, side="right")
+        return positions, lo, (hi - lo).astype(np.int64)
+
     def extract(self, rows=_ALL, cols=_ALL, *, reindex: bool = True) -> "Matrix":
         """Extract the submatrix at the given row/column index lists.
 
         With ``reindex=True`` (GraphBLAS semantics) output coordinates are the
-        positions within the supplied index lists; with ``reindex=False`` the
-        original coordinates are preserved (useful for traffic-matrix slicing).
+        positions within the supplied index lists, and a duplicated selection
+        index replicates the selected row/column once per occurrence — exactly
+        ``out[i, j] = A[rows[i], cols[j]]``, so ``A.extract([1, 1], [1])`` has
+        two entries.  With ``reindex=False`` the original coordinates are
+        preserved (useful for traffic-matrix slicing) and the selection lists
+        act as sets: duplicates cannot replicate entries because replicated
+        entries would collide on the same coordinate.
         """
         self._wait()
         row_sel = None if rows is _ALL else K.as_index_array(rows, "rows")
@@ -831,20 +851,44 @@ class Matrix:
             out._rows, out._cols, out._vals = r, c, v
             return out
 
-        if row_sel is not None:
-            out_nrows = max(int(row_sel.size), 1)
-            if r.size:
-                sorter = np.argsort(row_sel, kind="stable")
-                r = sorter[np.searchsorted(row_sel, r, sorter=sorter)].astype(K.INDEX_DTYPE)
-        else:
-            out_nrows = self._nrows
-        if col_sel is not None:
-            out_ncols = max(int(col_sel.size), 1)
-            if c.size:
-                sorter = np.argsort(col_sel, kind="stable")
-                c = sorter[np.searchsorted(col_sel, c, sorter=sorter)].astype(K.INDEX_DTYPE)
-        else:
-            out_ncols = self._ncols
+        out_nrows = self._nrows if row_sel is None else max(int(row_sel.size), 1)
+        out_ncols = self._ncols if col_sel is None else max(int(col_sel.size), 1)
+        if r.size:
+            ones = np.ones(r.size, dtype=np.int64)
+            if row_sel is not None:
+                r_pos, r_lo, r_cnt = self._selection_occurrences(row_sel, r)
+            else:
+                r_cnt = ones
+            if col_sel is not None:
+                c_pos, c_lo, c_cnt = self._selection_occurrences(col_sel, c)
+            else:
+                c_cnt = ones
+            total = r_cnt * c_cnt
+            if total.sum() == r.size:
+                # Duplicate-free selections: each entry maps to one position.
+                if row_sel is not None:
+                    r = r_pos[r_lo].astype(K.INDEX_DTYPE)
+                if col_sel is not None:
+                    c = c_pos[c_lo].astype(K.INDEX_DTYPE)
+            else:
+                # Replicate each entry once per (row occurrence, col occurrence)
+                # pair: entry k appears r_cnt[k] * c_cnt[k] times.
+                m = int(total.sum())
+                rep = np.repeat(np.arange(r.size, dtype=np.intp), total)
+                prefix = np.concatenate(([0], np.cumsum(total)[:-1]))
+                offs = np.arange(m, dtype=np.int64) - np.repeat(prefix, total)
+                cc = np.repeat(c_cnt, total)
+                row_occ = offs // cc
+                col_occ = offs - row_occ * cc
+                if row_sel is not None:
+                    r = r_pos[r_lo[rep] + row_occ].astype(K.INDEX_DTYPE)
+                else:
+                    r = r[rep]
+                if col_sel is not None:
+                    c = c_pos[c_lo[rep] + col_occ].astype(K.INDEX_DTYPE)
+                else:
+                    c = c[rep]
+                v = v[rep]
         out = Matrix(self._dtype, out_nrows, out_ncols)
         r, c, v = K.sort_coo(r, c, v)
         out._rows, out._cols, out._vals = r, c, v

@@ -14,7 +14,7 @@ from .powerlaw import (
     paper_stream,
     powerlaw_edges,
 )
-from .stream import IngestResult, IngestSession, RateMeter, batched
+from .stream import IngestResult, IngestSession, RateMeter, batched, normalize_batch
 from .traffic import (
     PacketBatch,
     TrafficMatrixBuilder,
@@ -44,4 +44,5 @@ __all__ = [
     "IngestResult",
     "RateMeter",
     "batched",
+    "normalize_batch",
 ]

@@ -16,7 +16,14 @@ from typing import Callable, Iterable, Iterator, List, Optional, Protocol, Tuple
 
 import numpy as np
 
-__all__ = ["batched", "RateMeter", "IngestResult", "IngestSession", "Ingestor"]
+__all__ = [
+    "batched",
+    "normalize_batch",
+    "RateMeter",
+    "IngestResult",
+    "IngestSession",
+    "Ingestor",
+]
 
 
 class Ingestor(Protocol):
@@ -45,6 +52,25 @@ def batched(
     for start in range(0, n, batch_size):
         stop = min(start + batch_size, n)
         yield rows[start:stop], cols[start:stop], values[start:stop]
+
+
+def normalize_batch(batch) -> Tuple[np.ndarray, np.ndarray, object]:
+    """Coerce any supported stream batch to ``(rows, cols, values)``.
+
+    Accepts :class:`~repro.workloads.powerlaw.EdgeBatch` (``rows``/``cols``),
+    :class:`~repro.workloads.traffic.PacketBatch` (``sources`` count as rows,
+    each packet adds 1), or plain ``(rows, cols[, values])`` tuples — the one
+    batch protocol shared by :class:`IngestSession` and the sharded engine.
+    """
+    if hasattr(batch, "rows"):
+        return batch.rows, batch.cols, batch.values
+    if hasattr(batch, "sources"):
+        return batch.sources, batch.destinations, 1.0
+    if len(batch) == 2:
+        rows, cols = batch
+        return rows, cols, 1.0
+    rows, cols, values = batch
+    return rows, cols, values
 
 
 class RateMeter:
@@ -185,13 +211,7 @@ class IngestSession:
         for batch in batches:
             if max_batches is not None and count >= max_batches:
                 break
-            if hasattr(batch, "rows"):
-                self.ingest(batch.rows, batch.cols, batch.values)
-            elif hasattr(batch, "sources"):
-                self.ingest(batch.sources, batch.destinations, 1.0)
-            else:
-                rows, cols, values = batch
-                self.ingest(rows, cols, values)
+            self.ingest(*normalize_batch(batch))
             count += 1
         metadata = {}
         stats = getattr(self._ingestor, "stats", None)

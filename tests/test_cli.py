@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main_fig2, main_ingest, main_scaling
+from repro.cli import main_fig2, main_ingest, main_scaling, main_shard
 
 
 class TestIngestCLI:
@@ -56,6 +56,67 @@ class TestScalingCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["total_updates"] == 3000
         assert payload["headline_projection"]["nodes"] == 1100
+
+
+class TestShardCLI:
+    def test_powerlaw_text_output(self, capsys):
+        rc = main_shard(
+            ["--shards", "3", "--updates", "20000", "--batch-size", "5000",
+             "--cuts", "1000,10000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards:                3" in out
+        assert "20,000" in out
+        assert "aggregate rate (sum)" in out
+
+    def test_json_output_range_partition(self, capsys):
+        rc = main_shard(
+            ["--shards", "2", "--partition", "range", "--updates", "10000",
+             "--batch-size", "2000", "--cuts", "1000,10000", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_updates"] == 10000
+        assert payload["partition"] == "range"
+        assert len(payload["per_shard"]) == 2
+        assert sum(s["updates"] for s in payload["per_shard"]) == 10000
+
+    def test_traffic_source(self, capsys):
+        rc = main_shard(
+            ["--shards", "2", "--source", "traffic", "--updates", "6000",
+             "--batch-size", "3000", "--cuts", "1000,10000", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "traffic"
+        assert payload["total_updates"] == 6000
+
+    @pytest.mark.parametrize("source", ["powerlaw", "traffic"])
+    def test_sources_stream_exactly_updates(self, capsys, source):
+        """Whole-window generators must not round the request up or down."""
+        rc = main_shard(
+            ["--shards", "2", "--source", source, "--updates", "1500",
+             "--batch-size", "1000", "--cuts", "1000,10000", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_updates"] == 1500
+        assert sum(s["updates"] for s in payload["per_shard"]) == 1500
+
+    def test_replay_file(self, tmp_path, capsys):
+        replay = tmp_path / "capture.tsv"
+        lines = [f"{i % 7}\t{i % 5}\t1.0" for i in range(100)]
+        replay.write_text("\n".join(lines) + "\n")
+        rc = main_shard(
+            ["--shards", "2", "--replay", str(replay), "--batch-size", "30",
+             "--cuts", "1000,10000", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "replay"
+        assert payload["total_updates"] == 100
+        assert payload["global_nvals"] == 35  # 7 x 5 distinct coordinate pairs
 
 
 class TestFig2CLI:
