@@ -155,9 +155,17 @@ class TestDeferredPackedSpeedup:
 
     def test_deferred_packed_vs_eager_lexsort(self, benchmark, results_dir):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-        make_new = lambda: HierarchicalMatrix(2**32, 2**32, "fp64", cuts=CUTS)
+        # The incremental-reduction tracker (PR 3) adds the same constant
+        # per-batch cost to both configurations; it is disabled here so the
+        # ratio isolates the PR-1 mechanism under measurement (packed keys +
+        # deferred ingest).  The headline rate benchmarks above keep the
+        # default configuration, tracker included.
+        make_new = lambda: HierarchicalMatrix(
+            2**32, 2**32, "fp64", cuts=CUTS, track_reductions=False
+        )
         make_old = lambda: HierarchicalMatrix(
-            2**32, 2**32, "fp64", cuts=CUTS, defer_ingest=False
+            2**32, 2**32, "fp64", cuts=CUTS, defer_ingest=False,
+            track_reductions=False,
         )
         new_result = _ingest(make_new, N_UPDATES, N_BATCHES)
         with coords.packing_disabled():

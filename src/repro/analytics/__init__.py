@@ -4,6 +4,13 @@ Implements the three analyses the paper's introduction motivates traffic
 matrices with: supernode observation, background (gravity) models, and
 residual/anomaly inference — plus the windowed streaming-analysis loop that
 combines them with hierarchical ingest.
+
+Every function accepts flat, hierarchical, and sharded matrices, and serves
+its result from the incrementally maintained reduction vectors
+(:mod:`repro.core.reductions`) whenever those are exact for the input —
+avoiding a full materialize and leaving deferred ingest undisturbed.  A
+``materialized=None|False|True`` keyword on each function auto-selects,
+requires, or bypasses the incremental fast path.
 """
 
 from .background import anomaly_scores, gravity_model, residual_matrix, top_anomalies

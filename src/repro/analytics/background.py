@@ -13,40 +13,53 @@ pattern only, so it scales with ``nnz`` rather than the address space.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from ..core import HierarchicalMatrix
 from ..graphblas import Matrix, binary
-from .degree import in_degree, out_degree, total_traffic
+from .degree import _as_matrix, _incremental_view, in_degree, out_degree, total_traffic
 
 __all__ = ["gravity_model", "residual_matrix", "anomaly_scores", "top_anomalies"]
 
 MatrixLike = Union[Matrix, HierarchicalMatrix]
 
 
-def _as_matrix(matrix: MatrixLike) -> Matrix:
-    if isinstance(matrix, HierarchicalMatrix):
-        return matrix.materialize()
-    return matrix
-
-
-def gravity_model(matrix: MatrixLike) -> Matrix:
+def gravity_model(matrix: MatrixLike, *, materialized: Optional[bool] = None) -> Matrix:
     """Rank-1 gravity (background) model evaluated on the observed pattern.
 
     For every stored coordinate ``(i, j)`` the expected traffic is
     ``row_sum(i) * col_sum(j) / total``.  The expectation is only materialised
     where traffic was observed, keeping the result hypersparse.
+
+    The marginals (row/column sums and the total) are taken from the
+    incrementally maintained reduction vectors when the input matrix carries
+    them (hierarchical/sharded matrices with a ``plus`` accumulator; see
+    :mod:`repro.core.reductions`), so only the observed *pattern* requires a
+    materialize.  ``materialized=True`` forces the classic all-materialize
+    path; both produce identical models for exactly representable traffic.
     """
-    m = _as_matrix(matrix)
-    total = total_traffic(m)
+    return _gravity_on_pattern(_as_matrix(matrix), matrix, materialized)
+
+
+def _gravity_on_pattern(
+    m: Matrix, source: MatrixLike, materialized: Optional[bool]
+) -> Matrix:
+    """Gravity model over the already-materialised pattern ``m`` of ``source``.
+
+    Marginals come from ``source``'s incremental reduction vectors when it
+    carries usable ones, and from ``m`` otherwise (avoiding a second
+    materialize of hierarchical/sharded inputs).
+    """
+    marginal_src = source if _incremental_view(source, materialized) is not None else m
+    total = total_traffic(marginal_src, materialized=materialized)
+    out_deg = out_degree(marginal_src, materialized=materialized)
+    in_deg = in_degree(marginal_src, materialized=materialized)
     out = Matrix(m.dtype, m.nrows, m.ncols)
     if m.nvals == 0 or total == 0:
         return out
     rows, cols, _ = m.extract_tuples()
-    out_deg = out_degree(m)
-    in_deg = in_degree(m)
     # Dense lookup over only the active rows/columns.
     od_idx, od_vals = out_deg.to_coo()
     id_idx, id_vals = in_deg.to_coo()
@@ -57,14 +70,14 @@ def gravity_model(matrix: MatrixLike) -> Matrix:
     return out
 
 
-def residual_matrix(matrix: MatrixLike) -> Matrix:
+def residual_matrix(matrix: MatrixLike, *, materialized: Optional[bool] = None) -> Matrix:
     """Observed minus expected traffic on the observed pattern."""
     m = _as_matrix(matrix)
-    expected = gravity_model(m)
+    expected = _gravity_on_pattern(m, matrix, materialized)
     return m.ewise_add(expected.apply("ainv"), binary.plus)
 
 
-def anomaly_scores(matrix: MatrixLike) -> Matrix:
+def anomaly_scores(matrix: MatrixLike, *, materialized: Optional[bool] = None) -> Matrix:
     """Normalised anomaly scores ``(observed - expected) / sqrt(expected)`` per pair.
 
     The Poisson-like normalisation makes scores comparable across pairs with
@@ -72,7 +85,7 @@ def anomaly_scores(matrix: MatrixLike) -> Matrix:
     flows.
     """
     m = _as_matrix(matrix)
-    expected = gravity_model(m)
+    expected = _gravity_on_pattern(m, matrix, materialized)
     if m.nvals == 0:
         return Matrix(m.dtype, m.nrows, m.ncols)
     rows, cols, observed = m.extract_tuples()
@@ -84,9 +97,11 @@ def anomaly_scores(matrix: MatrixLike) -> Matrix:
     return out
 
 
-def top_anomalies(matrix: MatrixLike, k: int = 10) -> list:
+def top_anomalies(
+    matrix: MatrixLike, k: int = 10, *, materialized: Optional[bool] = None
+) -> list:
     """The ``k`` (source, destination, score) pairs with the highest anomaly scores."""
-    scores = anomaly_scores(matrix)
+    scores = anomaly_scores(matrix, materialized=materialized)
     rows, cols, vals = scores.extract_tuples()
     if vals.size == 0:
         return []

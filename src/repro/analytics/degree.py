@@ -3,19 +3,38 @@
 The paper's introduction motivates traffic matrices by the analyses they
 enable: "observation of temporal fluctuations of network supernodes, computing
 background models, and inferring the presence of unobserved traffic".  The
-functions here compute the degree-style statistics those analyses start from,
-expressed as GraphBLAS reductions so they work directly on hypersparse
-matrices and on materialised hierarchical matrices.
+functions here compute the degree-style statistics those analyses start from.
+
+Every function accepts a flat :class:`~repro.graphblas.matrix.Matrix`, a
+:class:`~repro.core.HierarchicalMatrix`, or a
+:class:`~repro.distributed.ShardedHierarchicalMatrix` and serves the result
+from the cheapest exact source:
+
+* **Incremental fast path** (``materialized=False`` or the auto default):
+  hierarchical and sharded matrices maintain running reduction vectors during
+  ingest (:mod:`repro.core.reductions`), so degree queries are answered from
+  those — no layer merge, no materialize, and crucially *no forced flush* of
+  the deferred layer-1 pending buffer, which keeps streaming undisturbed.
+* **Materialize fallback** (``materialized=True``, plain matrices, or
+  configurations the tracker cannot serve exactly — non-``plus``
+  accumulators, or fan/nnz on unpackable IPv6 shapes): the classic GraphBLAS
+  reduction over the materialised matrix.
+
+Both paths produce the same stored index sets and bit-identical values for
+exactly representable data (integer packet/byte counts), which the property
+suite in ``tests/core/test_reductions.py`` asserts across shard counts,
+partitions, and coordinate engines.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..core import HierarchicalMatrix
 from ..graphblas import Matrix, Vector, monoid
+from ..graphblas.errors import InvalidValue
 
 __all__ = [
     "out_degree",
@@ -30,62 +49,131 @@ MatrixLike = Union[Matrix, HierarchicalMatrix]
 
 
 def _as_matrix(matrix: MatrixLike) -> Matrix:
-    if isinstance(matrix, HierarchicalMatrix):
-        return matrix.materialize()
-    return matrix
+    """Materialise any supported matrix type into one flat hypersparse Matrix."""
+    if isinstance(matrix, Matrix):
+        return matrix
+    # HierarchicalMatrix and ShardedHierarchicalMatrix (duck-typed so the
+    # analytics layer does not import the distributed machinery).
+    return matrix.materialize()
 
 
-def out_degree(matrix: MatrixLike, *, weighted: bool = True) -> Vector:
+def _incremental_view(matrix, materialized: Optional[bool], *, fan: bool = False):
+    """The matrix's incremental-reduction view, or None to use materialize.
+
+    ``materialized=None`` auto-selects (incremental whenever it can serve the
+    query exactly), ``True`` forces the materialize path, and ``False``
+    *requires* the incremental path, raising :class:`InvalidValue` when the
+    matrix cannot serve it (plain Matrix, non-plus accumulator, or fan/nnz on
+    an unpackable shape).
+    """
+    # Check the forced-materialize escape hatch before touching the matrix:
+    # on sharded inputs the support flags cost a cross-shard stats round.
+    inc = None if materialized is True else getattr(matrix, "incremental", None)
+    usable = (
+        inc is not None
+        and inc.supported
+        and (not fan or inc.fan_supported)
+    )
+    if materialized is False and not usable:
+        raise InvalidValue(
+            "materialized=False requested but this matrix cannot serve the "
+            "query from incremental reductions"
+        )
+    return inc if usable else None
+
+
+def out_degree(
+    matrix: MatrixLike, *, weighted: bool = True, materialized: Optional[bool] = None
+) -> Vector:
     """Per-source totals: row sums (weighted) or row nonzero counts (unweighted).
 
     For a traffic matrix the weighted out-degree of a source IP is the number
     of packets (or bytes) it sent; the unweighted out-degree is its fan-out
     (number of distinct destinations).
+
+    Parameters
+    ----------
+    matrix:
+        Flat, hierarchical, or sharded traffic matrix.
+    weighted:
+        Sum stored values (True) or count stored entries (False) per row.
+    materialized:
+        ``None`` (default) serves from the incremental reduction vectors when
+        available; ``True`` forces the materialize-based reduction; ``False``
+        requires the incremental path (raises if unavailable).
     """
+    inc = _incremental_view(matrix, materialized, fan=not weighted)
+    if inc is not None:
+        return inc.row_traffic() if weighted else inc.row_fan()
     m = _as_matrix(matrix)
     if weighted:
         return m.reduce_rowwise(monoid.plus)
     return m.apply("one").reduce_rowwise(monoid.plus)
 
 
-def in_degree(matrix: MatrixLike, *, weighted: bool = True) -> Vector:
-    """Per-destination totals: column sums or column nonzero counts."""
+def in_degree(
+    matrix: MatrixLike, *, weighted: bool = True, materialized: Optional[bool] = None
+) -> Vector:
+    """Per-destination totals: column sums or column nonzero counts.
+
+    Parameters as :func:`out_degree`.
+    """
+    inc = _incremental_view(matrix, materialized, fan=not weighted)
+    if inc is not None:
+        return inc.col_traffic() if weighted else inc.col_fan()
     m = _as_matrix(matrix)
     if weighted:
         return m.reduce_columnwise(monoid.plus)
     return m.apply("one").reduce_columnwise(monoid.plus)
 
 
-def fan_out(matrix: MatrixLike) -> Vector:
+def fan_out(matrix: MatrixLike, *, materialized: Optional[bool] = None) -> Vector:
     """Number of distinct destinations contacted by each source."""
-    return out_degree(matrix, weighted=False)
+    return out_degree(matrix, weighted=False, materialized=materialized)
 
 
-def fan_in(matrix: MatrixLike) -> Vector:
+def fan_in(matrix: MatrixLike, *, materialized: Optional[bool] = None) -> Vector:
     """Number of distinct sources contacting each destination."""
-    return in_degree(matrix, weighted=False)
+    return in_degree(matrix, weighted=False, materialized=materialized)
 
 
-def total_traffic(matrix: MatrixLike) -> float:
+def total_traffic(matrix: MatrixLike, *, materialized: Optional[bool] = None) -> float:
     """Sum of every entry (total packets/bytes observed)."""
+    inc = _incremental_view(matrix, materialized)
+    if inc is not None:
+        return float(inc.total())
     return float(_as_matrix(matrix).reduce_scalar(monoid.plus))
 
 
-def degree_summary(matrix: MatrixLike) -> Dict[str, float]:
+def degree_summary(
+    matrix: MatrixLike, *, materialized: Optional[bool] = None
+) -> Dict[str, float]:
     """Summary statistics of the traffic matrix used in monitoring dashboards.
 
     Returns the entry count, total traffic, number of active sources and
-    destinations, and the maximum weighted out-/in-degree (the supernode
-    magnitudes).
+    destinations, and the maximum/mean weighted out-/in-degree (the supernode
+    magnitudes).  Served entirely from the incremental reduction vectors when
+    available — including the exact ``nnz`` from the distinct-coordinate
+    cascade — so a monitoring loop can poll it without ever interrupting
+    ingest.
     """
-    m = _as_matrix(matrix)
-    out_deg = out_degree(m)
-    in_deg = in_degree(m)
+    inc = _incremental_view(matrix, materialized, fan=True)
+    if inc is not None:
+        out_deg = inc.row_traffic()
+        in_deg = inc.col_traffic()
+        nnz = float(inc.nnz())
+        total = float(inc.total())
+    else:
+        m = _as_matrix(matrix)
+        out_deg = m.reduce_rowwise(monoid.plus)
+        in_deg = m.reduce_columnwise(monoid.plus)
+        nnz = float(m.nvals)
+        total = float(m.reduce_scalar(monoid.plus))
     _, out_vals = out_deg.to_coo()
     _, in_vals = in_deg.to_coo()
     return {
-        "nnz": float(m.nvals),
-        "total_traffic": total_traffic(m),
+        "nnz": nnz,
+        "total_traffic": total,
         "active_sources": float(out_deg.nvals),
         "active_destinations": float(in_deg.nvals),
         "max_out_degree": float(out_vals.max()) if out_vals.size else 0.0,

@@ -6,12 +6,17 @@ controllers).  Observing their temporal fluctuations is one of the three
 motivating analyses in the paper's introduction.  Detection reduces to finding
 the top-k rows/columns of the traffic matrix by (weighted or unweighted)
 degree, plus simple share-of-traffic statistics.
+
+All functions ride the incremental reduction vectors when the input matrix
+maintains them (see :mod:`repro.analytics.degree`), so a supernode watch loop
+polling ``top_sources``/``supernode_report`` on a streaming hierarchical or
+sharded matrix never materialises it and never forces its deferred flush.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -59,46 +64,73 @@ def _top_k(values: Vector, counts: Vector, k: int, side: str) -> List[Supernode]
     return out
 
 
-def top_sources(matrix: MatrixLike, k: int = 10) -> List[Supernode]:
-    """The ``k`` sources with the most outbound traffic."""
+def top_sources(
+    matrix: MatrixLike, k: int = 10, *, materialized: Optional[bool] = None
+) -> List[Supernode]:
+    """The ``k`` sources with the most outbound traffic.
+
+    Parameters
+    ----------
+    matrix:
+        Flat, hierarchical, or sharded traffic matrix.
+    k:
+        Number of supernodes to return (fewer when fewer sources are active).
+    materialized:
+        Forwarded to :func:`~repro.analytics.degree.out_degree`: ``None``
+        auto-selects the incremental fast path, ``True`` forces materialize,
+        ``False`` requires incremental.
+    """
     return _top_k(
-        out_degree(matrix, weighted=True),
-        out_degree(matrix, weighted=False),
+        out_degree(matrix, weighted=True, materialized=materialized),
+        out_degree(matrix, weighted=False, materialized=materialized),
         k,
         "source",
     )
 
 
-def top_destinations(matrix: MatrixLike, k: int = 10) -> List[Supernode]:
-    """The ``k`` destinations with the most inbound traffic."""
+def top_destinations(
+    matrix: MatrixLike, k: int = 10, *, materialized: Optional[bool] = None
+) -> List[Supernode]:
+    """The ``k`` destinations with the most inbound traffic.
+
+    Parameters as :func:`top_sources`.
+    """
     return _top_k(
-        in_degree(matrix, weighted=True),
-        in_degree(matrix, weighted=False),
+        in_degree(matrix, weighted=True, materialized=materialized),
+        in_degree(matrix, weighted=False, materialized=materialized),
         k,
         "destination",
     )
 
 
-def traffic_share(matrix: MatrixLike, k: int = 10) -> Tuple[float, float]:
+def traffic_share(
+    matrix: MatrixLike, k: int = 10, *, materialized: Optional[bool] = None
+) -> Tuple[float, float]:
     """Fraction of total traffic carried by the top-k sources and destinations.
 
     A heavy-tailed (power-law) traffic matrix concentrates most traffic in a
     few supernodes, so these fractions are large — the property the workload
     generators are tested against.
     """
-    total = total_traffic(matrix)
+    total = total_traffic(matrix, materialized=materialized)
     if total == 0:
         return 0.0, 0.0
-    src_share = sum(s.traffic for s in top_sources(matrix, k)) / total
-    dst_share = sum(d.traffic for d in top_destinations(matrix, k)) / total
+    src_share = sum(
+        s.traffic for s in top_sources(matrix, k, materialized=materialized)
+    ) / total
+    dst_share = sum(
+        d.traffic for d in top_destinations(matrix, k, materialized=materialized)
+    ) / total
     return src_share, dst_share
 
 
-def supernode_report(matrix: MatrixLike, k: int = 10) -> dict:
+def supernode_report(
+    matrix: MatrixLike, k: int = 10, *, materialized: Optional[bool] = None
+) -> dict:
     """A compact supernode report for one observation window."""
-    sources = top_sources(matrix, k)
-    destinations = top_destinations(matrix, k)
-    src_share, dst_share = traffic_share(matrix, k)
+    sources = top_sources(matrix, k, materialized=materialized)
+    destinations = top_destinations(matrix, k, materialized=materialized)
+    src_share, dst_share = traffic_share(matrix, k, materialized=materialized)
     return {
         "top_sources": [(s.identifier, s.traffic, s.fan) for s in sources],
         "top_destinations": [(d.identifier, d.traffic, d.fan) for d in destinations],

@@ -255,6 +255,11 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         "--processes", action="store_true",
         help="back shards with long-lived worker processes (default: in-process)",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the incrementally maintained traffic statistics (degree "
+        "summary + top supernodes) served without materialising the shards",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
@@ -295,6 +300,15 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         matrix.finalize()
         wall = time.perf_counter() - wall_start
         reports = matrix.reports()
+        stats = None
+        supernodes = None
+        if args.stats:
+            from .analytics import degree_summary, supernode_report
+
+            # Served from the shards' incremental reduction vectors — no
+            # materialize, and the shards keep streaming undisturbed.
+            stats = degree_summary(matrix)
+            supernodes = supernode_report(matrix, 5)
         nvals = matrix.materialize().nvals
     rate_sum = sum(r.updates_per_second for r in reports)
     rate_wall = total / wall if wall > 0 else 0.0
@@ -320,6 +334,9 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
                 for r in reports
             ],
         }
+        if stats is not None:
+            payload["stats"] = stats
+            payload["supernodes"] = supernodes
         print(json.dumps(payload, indent=2))
     else:
         print(f"shards:                {args.shards} ({args.partition} partition)")
@@ -335,6 +352,19 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         print(f"aggregate rate (sum):  {rate_sum:,.0f} updates/s")
         print(f"aggregate rate (wall): {rate_wall:,.0f} updates/s")
         print(f"global nvals:          {nvals:,}")
+        if stats is not None:
+            print("--- incremental traffic statistics (no materialize) ---")
+            print(f"nnz:                   {stats['nnz']:,.0f}")
+            print(f"total traffic:         {stats['total_traffic']:,.0f}")
+            print(f"active sources:        {stats['active_sources']:,.0f}")
+            print(f"active destinations:   {stats['active_destinations']:,.0f}")
+            print(f"max out/in degree:     {stats['max_out_degree']:,.0f} / "
+                  f"{stats['max_in_degree']:,.0f}")
+            print(f"top source share:      {supernodes['top_source_share']:.3f}")
+            print(f"top destination share: {supernodes['top_destination_share']:.3f}")
+            print(f"{'source':>12} {'traffic':>12} {'fan-out':>8}")
+            for ident, traffic, fan in supernodes["top_sources"]:
+                print(f"{ident:>12} {traffic:>12,.0f} {fan:>8}")
     return 0
 
 

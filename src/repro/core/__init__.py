@@ -11,11 +11,14 @@ from .checkpoint import load_checkpoint, save_checkpoint
 from .hier_assoc import HierarchicalAssoc
 from .hierarchical import HierarchicalMatrix
 from .policy import AdaptiveCuts, CutPolicy, FixedCuts, GeometricCuts, default_policy
+from .reductions import IncrementalReductions, KeySetCascade
 from .stats import UpdateStats
 
 __all__ = [
     "HierarchicalMatrix",
     "HierarchicalAssoc",
+    "IncrementalReductions",
+    "KeySetCascade",
     "save_checkpoint",
     "load_checkpoint",
     "CutPolicy",

@@ -81,6 +81,10 @@ def load_checkpoint(path: PathLike) -> HierarchicalMatrix:
                 # Restore the layer content directly; bypassing update() keeps
                 # the exact layer occupancy (no spurious cascades on load).
                 matrix.layers[i].build(rows, cols, vals)
+        if matrix.incremental.supported:
+            # Layer injection bypassed the incremental tracker; re-derive its
+            # reduction vectors from the materialised content once at load.
+            matrix.incremental.rebuild_from_triples(*matrix.materialize().extract_tuples())
         stats_meta = meta.get("stats")
         if stats_meta is not None and matrix.stats is not None:
             stats = matrix.stats

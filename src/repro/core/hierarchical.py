@@ -30,6 +30,15 @@ streaming resumes; cascades themselves still fire on the exact post-collapse
 ``nnz(A_1) > c_1`` condition, so the cascade pattern (and the final matrix)
 is identical to eager ingest.  Queries (``materialize``, ``get``,
 ``layer_nvals`` ...) force the flush, so readers never observe pending state.
+
+Incremental reductions
+----------------------
+With ``track_reductions=True`` (the default) every update batch is also
+observed by an :class:`~repro.core.reductions.IncrementalReductions` tracker —
+O(batch) appends maintaining running out-/in-degree, fan-out/fan-in, total
+traffic, and exact ``nnz``, available through :attr:`incremental` *without*
+materialising and without forcing the deferred layer-1 flush.  The analytics
+layer (:mod:`repro.analytics`) uses it automatically.
 """
 
 from __future__ import annotations
@@ -40,10 +49,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..graphblas import Matrix, binary
+from ..graphblas import _kernels as K
 from ..graphblas.binaryop import BinaryOp
 from ..graphblas.errors import DimensionMismatch, InvalidValue
 from ..graphblas.types import DataType, lookup_dtype
 from .policy import CutPolicy, FixedCuts, default_policy
+from .reductions import IncrementalReductions
 from .stats import UpdateStats
 
 __all__ = ["HierarchicalMatrix"]
@@ -81,6 +92,13 @@ class HierarchicalMatrix:
         accumulators automatically use eager ingest.  Set False to force the
         pre-packed eager behaviour, mainly useful for benchmarking the
         deferred path against it.
+    track_reductions:
+        When True (default) maintain incremental row/col reduction vectors
+        (degrees, fans, total traffic, exact nnz) updated per ingest batch
+        and served through :attr:`incremental` without materialising.  The
+        tracker deactivates itself for non-``plus`` accumulators, where the
+        reductions are not linear in the updates (reads then fall back to the
+        materialize path in :mod:`repro.analytics`).
 
     Examples
     --------
@@ -103,6 +121,7 @@ class HierarchicalMatrix:
         accum: Optional[BinaryOp] = None,
         track_stats: bool = True,
         defer_ingest: bool = True,
+        track_reductions: bool = True,
         name: str = "",
     ):
         if cuts is not None and policy is not None:
@@ -128,6 +147,13 @@ class HierarchicalMatrix:
             for i in range(self._nlevels)
         ]
         self._stats = UpdateStats(self._nlevels) if track_stats else None
+        self._incremental = IncrementalReductions(
+            self._nrows,
+            self._ncols,
+            self._dtype,
+            self._accum,
+            enabled=track_reductions,
+        )
         # Per-layer count of total updates at the time of that layer's last
         # cascade; used to feed adaptive policies.
         self._last_cascade_at = [0] * self._nlevels
@@ -202,6 +228,17 @@ class HierarchicalMatrix:
         return self._policy
 
     @property
+    def incremental(self) -> IncrementalReductions:
+        """Incremental reduction vectors maintained during ingest.
+
+        Check :attr:`IncrementalReductions.supported` (and
+        :attr:`~IncrementalReductions.fan_supported` for fan/nnz) before
+        querying; the analytics layer does this automatically and falls back
+        to :meth:`materialize`-based reductions when unavailable.
+        """
+        return self._incremental
+
+    @property
     def memory_usage(self) -> int:
         """Approximate bytes of coordinate/value storage across all layers."""
         return sum(layer.memory_usage for layer in self._layers)
@@ -213,24 +250,48 @@ class HierarchicalMatrix:
     def update(self, rows, cols, values=1) -> "HierarchicalMatrix":
         """Add a batch of triples to the hierarchy (``A_1 = A_1 + A``), then cascade.
 
-        ``values`` may be an array or a scalar broadcast over all coordinates
-        (the traffic-matrix use case adds 1 per observed packet).  Coordinates
-        may be arrays, sequences, or bare scalars/0-d arrays
-        (``H.update(5, 6)`` adds a single element, like ``Matrix.build``).
+        Parameters
+        ----------
+        rows, cols:
+            Coordinates of the batch; arrays, sequences, or bare scalars/0-d
+            arrays (``H.update(5, 6)`` adds one element, like
+            ``Matrix.build``).
+        values:
+            Per-coordinate values, or a scalar broadcast over the whole batch
+            (the traffic-matrix use case adds 1 per observed packet; this is
+            the default).
+
+        Returns ``self`` for chaining.  The batch is also observed by the
+        :attr:`incremental` reduction tracker (O(batch) appends) when that is
+        enabled.
         """
         start = time.perf_counter()
-        if isinstance(rows, np.ndarray):
-            n = int(rows.size)
-        elif hasattr(rows, "__len__"):
-            n = len(rows)
+        r = K.as_index_array(rows, "rows")
+        c = K.as_index_array(cols, "cols")
+        n = int(r.size)
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            v = np.full(n, values, dtype=self._dtype.np_type)
         else:
-            n = 1  # scalar coordinate
+            v = np.asarray(values).astype(self._dtype.np_type, copy=False)
+        track = self._incremental.supported
+        if track or self._defer_ingest:
+            # One defensive copy, shared by the layer-1 pending buffer and the
+            # tracker backlog (neither ever mutates its buffered arrays);
+            # freshly allocated conversions above are already private.
+            if r is rows:
+                r = r.copy()
+            if c is cols:
+                c = c.copy()
+            if v is values:
+                v = v.copy()
         self._layers[0].build(
-            rows, cols, values, dup_op=self._accum, lazy=self._defer_ingest
+            r, c, v, dup_op=self._accum, lazy=self._defer_ingest, copy=False
         )
         if self._stats is not None:
             self._stats.record_update(n)
             self._stats.record_layer_size(0, self._layers[0].nvals_upper_bound)
+        if track:
+            self._incremental.observe(r, c, v, copy=False)
         self._cascade()
         if self._stats is not None:
             self._stats.elapsed_seconds += time.perf_counter() - start
@@ -246,11 +307,16 @@ class HierarchicalMatrix:
         n = other.nvals
         if self._defer_ingest:
             # extract_tuples already returns fresh copies; hand them straight
-            # to the pending buffer instead of copying a second time.
+            # to the pending buffer instead of copying a second time.  The
+            # incremental tracker shares the same arrays (pending buffers
+            # never mutate them).
             r, c, v = other.extract_tuples()
             self._layers[0].build(r, c, v, dup_op=self._accum, lazy=True, copy=False)
+            self._incremental.observe_matrix(r, c, v)
         else:
             self._layers[0].update(other, accum=self._accum)
+            if self._incremental.supported:
+                self._incremental.observe_matrix(*other.extract_tuples())
         if self._stats is not None:
             self._stats.record_update(n)
             self._stats.record_layer_size(0, self._layers[0].nvals_upper_bound)
@@ -338,10 +404,12 @@ class HierarchicalMatrix:
     def wait(self) -> "HierarchicalMatrix":
         """Force layer 1's deferred pending merge (and any resulting cascade).
 
-        Streaming may continue afterwards.  Measurement harnesses call this at
-        the end of the timed loop so the reported ingest rate includes the
-        sort/merge work that deferred ingest postponed; it is a no-op under
-        eager ingest.
+        Streaming may continue afterwards, and the :attr:`incremental`
+        reduction tracker is unaffected (it drains on its own schedule).
+        Measurement harnesses call this at the end of the timed loop so the
+        reported ingest rate includes the sort/merge work that deferred ingest
+        postponed; it is a no-op under eager ingest.  Returns ``self`` for
+        chaining.
         """
         if self._layers[0].has_pending:
             self._layers[0].wait()
@@ -392,6 +460,7 @@ class HierarchicalMatrix:
             layer.clear()
         if self._stats is not None:
             self._stats.reset()
+        self._incremental.reset()
         self._last_cascade_at = [0] * self._nlevels
         return self
 

@@ -1,0 +1,450 @@
+"""Incremental shard-side analytics: reduction vectors maintained during ingest.
+
+The paper motivates hypersparse traffic matrices by the analyses they enable —
+supernode fluctuation, background models, unobserved-traffic inference — and
+every one of those analyses starts from row/column reductions of the traffic
+matrix: weighted out-/in-degree (packets sent/received per endpoint), fan-out/
+fan-in (distinct counterparties per endpoint), and the total traffic.  Before
+this module, each such query forced a full ``materialize()`` — a sort/merge of
+every hierarchy layer plus the deferred pending buffer — defeating the entire
+deferred-ingest design for monitoring workloads that query stats continuously.
+
+:class:`IncrementalReductions` maintains those reductions *online*:
+
+* Every ingest batch is observed in O(batch): coordinate/value array
+  references are appended to the tracker's backlog — no sort, no merge, no
+  materialize on the streaming hot path.
+* Reads (and a periodic ``drain_interval`` safety valve) amortise the
+  deferred work exactly like the hierarchy's own layer-1 flush: one fused
+  packed-key sort serves the row sums, the distinct-coordinate dedupe, and
+  the exact ``nnz`` at once, one column-order sort serves the column sums,
+  and the grouped results merge into the maintained vectors via the O(n)
+  :meth:`Vector.merge_sorted <repro.graphblas.vector.Vector.merge_sorted>`.
+  Crucially, reads never touch the matrix itself, so a stats query leaves
+  the layer-1 pending buffer (and therefore the cascade pattern) completely
+  undisturbed.
+* Fan-out/fan-in require knowing which coordinates are *globally new*, which a
+  linear accumulation cannot tell.  :class:`KeySetCascade` solves it with the
+  paper's own trick applied to a set: distinct packed ``uint64`` coordinate
+  keys live in a small hierarchy of sorted arrays with geometric cuts, so
+  membership tests are a few binary searches and insertions amortise
+  geometrically instead of paying an O(n) merge per batch.  As a bonus the
+  cascade's cardinality is the matrix's exact logical ``nnz`` — also available
+  without materialising.
+
+Exactness
+---------
+The maintained vectors are *exactly* the materialize-based reductions (same
+stored index sets, and bit-identical values for any exactly representable
+data, e.g. integer packet/byte counts in fp64 — the same guarantee the
+sharded engine makes) under the conditions the tracker checks for itself:
+
+* the combining operator is ``plus`` (reductions are linear in the updates;
+  any other accumulator sets :attr:`IncrementalReductions.supported` False and
+  callers fall back to the materialize path), and
+* for fan/nnz, the logical shape packs into a 64-bit key
+  (:func:`repro.graphblas.coords.shape_split` — always true for the paper's
+  IPv4 :math:`2^{32} \\times 2^{32}` matrices; full 64-bit IPv6 shapes set
+  :attr:`IncrementalReductions.fan_supported` False).  Like shard routing,
+  the split is a pure function of the shape, deliberately independent of the
+  global packing toggle, so disabling the packed kernels never changes the
+  tracked stats.
+
+Because updates only ever *add* entries (``plus`` never deletes a stored
+coordinate, and explicit zeros remain stored per GraphBLAS semantics), the
+distinct-coordinate set is monotone and the cascade never needs deletions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphblas import coords
+from ..graphblas import _kernels as K
+from ..graphblas._kernels import _key_group_starts, _merge_sorted_keys
+from ..graphblas.binaryop import BinaryOp, binary
+from ..graphblas.errors import InvalidValue
+from ..graphblas.types import DataType, lookup_dtype
+from ..graphblas.vector import Vector
+
+__all__ = ["KeySetCascade", "IncrementalReductions"]
+
+#: Default cuts of the distinct-key cascade (geometric growth, unbounded top).
+DEFAULT_KEY_CUTS = (2 ** 15, 2 ** 18, 2 ** 21)
+
+
+class KeySetCascade:
+    """A hierarchical sorted set of ``uint64`` keys (the paper's cascade, for sets).
+
+    Keys live in ``len(cuts) + 1`` sorted, pairwise-disjoint levels.  New keys
+    are merged into level 0; whenever level ``i`` outgrows ``cuts[i]`` it is
+    merged into level ``i + 1`` and cleared, so insertion cost amortises
+    geometrically (almost all merges touch only the small bottom levels) while
+    membership stays a handful of binary searches.
+
+    Parameters
+    ----------
+    cuts:
+        Level-size thresholds :math:`c_0 ... c_{N-2}`; the top level is
+        unbounded.  Defaults to ``(2**15, 2**18, 2**21)``.
+    """
+
+    def __init__(self, cuts: Optional[Sequence[int]] = None):
+        self._cuts: List[int] = [int(c) for c in (cuts or DEFAULT_KEY_CUTS)]
+        if any(c <= 0 for c in self._cuts):
+            raise InvalidValue(f"cuts must be positive, got {self._cuts}")
+        self._levels: List[np.ndarray] = [
+            np.empty(0, dtype=coords.KEY_DTYPE) for _ in range(len(self._cuts) + 1)
+        ]
+
+    @property
+    def count(self) -> int:
+        """Number of distinct keys in the set (levels are disjoint, so O(1))."""
+        return sum(level.size for level in self._levels)
+
+    @property
+    def level_sizes(self) -> Tuple[int, ...]:
+        """Stored keys per level (diagnostics)."""
+        return tuple(level.size for level in self._levels)
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for an array of query keys (any order)."""
+        mask = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return mask
+        for level in self._levels:
+            if level.size == 0:
+                continue
+            pos = np.searchsorted(level, keys)
+            pos_c = np.minimum(pos, level.size - 1)
+            mask |= level[pos_c] == keys
+        return mask
+
+    def add_new(self, new_keys: np.ndarray) -> None:
+        """Insert keys known to be absent from the set.
+
+        ``new_keys`` must be sorted and duplicate-free, and disjoint from the
+        current contents (callers filter through :meth:`contains` first) —
+        that is what keeps every level pairwise disjoint and all merges plain
+        two-way merges of disjoint sorted arrays.
+        """
+        if new_keys.size == 0:
+            return
+        if self._levels[0].size == 0:
+            self._levels[0] = new_keys.astype(coords.KEY_DTYPE, copy=True)
+        else:
+            self._levels[0] = _merge_sorted_keys(self._levels[0], new_keys)[0]
+        for i, cut in enumerate(self._cuts):
+            if self._levels[i].size <= cut:
+                break
+            if self._levels[i + 1].size == 0:
+                self._levels[i + 1] = self._levels[i]
+            else:
+                self._levels[i + 1] = _merge_sorted_keys(
+                    self._levels[i + 1], self._levels[i]
+                )[0]
+            self._levels[i] = np.empty(0, dtype=coords.KEY_DTYPE)
+
+    def to_array(self) -> np.ndarray:
+        """All keys as one sorted array (test/diagnostic helper, O(n))."""
+        out = np.empty(0, dtype=coords.KEY_DTYPE)
+        for level in self._levels:
+            if level.size:
+                out = level.copy() if out.size == 0 else _merge_sorted_keys(out, level)[0]
+        return out
+
+    def clear(self) -> None:
+        """Empty every level."""
+        self._levels = [
+            np.empty(0, dtype=coords.KEY_DTYPE) for _ in range(len(self._cuts) + 1)
+        ]
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.contains(np.asarray([key], dtype=coords.KEY_DTYPE))[0])
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KeySetCascade count={self.count} levels={list(self.level_sizes)}>"
+
+
+class IncrementalReductions:
+    """Running row/col reduction vectors maintained per ingest batch.
+
+    One tracker is owned by each :class:`~repro.core.HierarchicalMatrix` (and
+    therefore by each shard worker's private matrix).  :meth:`observe` is
+    called on the ingest hot path and costs O(batch) appends; the query
+    methods below amortise the deferred sort/merge work and never touch the
+    owning matrix, so stats reads do not force the hierarchy's layer-1 flush.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Logical shape of the tracked matrix (fixes the fan/nnz key split).
+    dtype:
+        Value type of the tracked matrix; the maintained vectors use the same
+        type so results are bit-compatible with the materialize-based
+        reductions.
+    accum:
+        The matrix's combining operator.  Only ``plus`` yields linear
+        reductions; anything else marks the tracker unsupported.
+    enabled:
+        Master switch (``HierarchicalMatrix(track_reductions=False)``).
+    key_cuts:
+        Level cuts of the distinct-coordinate :class:`KeySetCascade`.
+    drain_interval:
+        Catch up the deferred reduction buffers after this many observed
+        updates even if nothing was read (default :math:`2^{18}`).  This
+        bounds both the backlog memory and the worst-case latency of the
+        *first* stats query after a long uninterrupted stream, exactly as the
+        hierarchy's first cut bounds its layer-1 pending buffer.
+
+    Query surface (shared with the sharded cross-shard view):
+
+    * :meth:`row_traffic` / :meth:`col_traffic` — weighted out-/in-degree.
+    * :meth:`row_fan` / :meth:`col_fan` — distinct counterparties.
+    * :meth:`total` — total traffic; :meth:`nnz` — exact logical entry count.
+    """
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        dtype="fp64",
+        accum: Optional[BinaryOp] = None,
+        *,
+        enabled: bool = True,
+        key_cuts: Optional[Sequence[int]] = None,
+        drain_interval: int = 2 ** 18,
+    ):
+        self._nrows = int(nrows)
+        self._ncols = int(ncols)
+        self._dtype: DataType = lookup_dtype(dtype)
+        accum = accum if accum is not None else binary.plus
+        self._supported = bool(enabled) and accum.name == "plus"
+        self._spec = coords.shape_split(self._nrows, self._ncols)
+        self._fan_supported = self._supported and self._spec is not None
+        self._row_traffic = Vector(self._dtype, self._nrows, name="row_traffic")
+        self._col_traffic = Vector(self._dtype, self._ncols, name="col_traffic")
+        self._row_fan = Vector(self._dtype, self._nrows, name="row_fan")
+        self._col_fan = Vector(self._dtype, self._ncols, name="col_fan")
+        self._keys = KeySetCascade(key_cuts)
+        # Deferred work: per-batch (rows, cols, values) references.  One fused
+        # drain serves all four vectors and the key cascade from a single
+        # packed-key sort (plus one column-order sort), instead of each
+        # consumer re-sorting its own copy of the backlog.
+        self._backlog: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._backlog_count = 0
+        self._drain_interval = max(int(drain_interval), 1)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def supported(self) -> bool:
+        """True when the linear reductions (traffic/total) are maintained."""
+        return self._supported
+
+    @property
+    def fan_supported(self) -> bool:
+        """True when fan-out/fan-in/nnz are maintained (packable shape only)."""
+        return self._fan_supported
+
+    @property
+    def dtype(self) -> DataType:
+        """Value type of the maintained vectors."""
+        return self._dtype
+
+    # ------------------------------------------------------------------ #
+    # ingest-side hook
+    # ------------------------------------------------------------------ #
+
+    def observe(self, rows, cols, values=1, *, copy: bool = True) -> None:
+        """Record one ingest batch (O(batch): appends only, no sort/merge).
+
+        Parameters
+        ----------
+        rows, cols:
+            Batch coordinates (arrays, sequences, or scalars — the same
+            domain :meth:`HierarchicalMatrix.update` accepts).
+        values:
+            Per-coordinate values or a scalar broadcast over the batch.
+        copy:
+            Copy caller-supplied arrays before buffering (the ingest path
+            must stay safe against callers reusing batch buffers).  Internal
+            callers that hand over ownership pass ``copy=False``.
+        """
+        if not self._supported:
+            return
+        r = K.as_index_array(rows, "rows")
+        c = K.as_index_array(cols, "cols")
+        if r.size == 0:
+            return
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            v = np.full(r.size, values, dtype=self._dtype.np_type)
+        else:
+            v = np.asarray(values).astype(self._dtype.np_type, copy=False)
+        if copy:
+            if r is rows:
+                r = r.copy()
+            if c is cols:
+                c = c.copy()
+            if v is values:
+                v = v.copy()
+        self._backlog.append((r, c, v))
+        self._backlog_count += r.size
+        if self._backlog_count >= self._drain_interval:
+            self._drain()
+
+    def observe_matrix(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
+        """Record an already-extracted triple set (ownership transfers)."""
+        self.observe(rows, cols, vals, copy=False)
+
+    @staticmethod
+    def _group_reduce(sorted_idx: np.ndarray, sorted_vals: np.ndarray):
+        """Collapse runs of equal indices in sorted order via one ``reduceat``."""
+        starts = _key_group_starts(sorted_idx)
+        return sorted_idx[starts], binary.plus.ufunc.reduceat(sorted_vals, starts)
+
+    def _drain(self) -> None:
+        """Fused amortised catch-up of every deferred reduction (periodic or on read).
+
+        One stable argsort of the packed coordinate keys serves three
+        consumers at once — row sums (keys sort row-major), the distinct-key
+        dedupe feeding fan/nnz, and the cascade insertion — and a second sort
+        by column serves the column sums.  Unpackable (IPv6) shapes fall back
+        to two plain per-axis sorts with fan tracking disabled.
+        """
+        if not self._backlog:
+            return
+        if len(self._backlog) == 1:
+            r, c, v = self._backlog[0]
+        else:
+            r = np.concatenate([b[0] for b in self._backlog])
+            c = np.concatenate([b[1] for b in self._backlog])
+            v = np.concatenate([b[2] for b in self._backlog])
+        self._backlog.clear()
+        self._backlog_count = 0
+
+        if self._fan_supported:
+            keys = coords.pack(r, c, self._spec)
+            order = np.argsort(keys, kind="stable")
+            skeys = keys[order]
+            idx, sums = self._group_reduce(
+                skeys >> np.uint64(self._spec.col_bits), v[order]
+            )
+            self._row_traffic.merge_sorted(idx, sums)
+            unique_keys = skeys[_key_group_starts(skeys)]
+            new = unique_keys[~self._keys.contains(unique_keys)]
+            if new.size:
+                self._keys.add_new(new)
+                new_rows, new_cols = coords.unpack(new, self._spec)
+                nr_idx, nr_counts = self._group_reduce(
+                    new_rows, np.ones(new_rows.size, dtype=self._dtype.np_type)
+                )
+                self._row_fan.merge_sorted(nr_idx, nr_counts)
+                new_cols = np.sort(new_cols, kind="stable")
+                nc_idx, nc_counts = self._group_reduce(
+                    new_cols, np.ones(new_cols.size, dtype=self._dtype.np_type)
+                )
+                self._col_fan.merge_sorted(nc_idx, nc_counts)
+        else:
+            order = np.argsort(r, kind="stable")
+            idx, sums = self._group_reduce(r[order], v[order])
+            self._row_traffic.merge_sorted(idx, sums)
+        col_order = np.argsort(c, kind="stable")
+        cidx, csums = self._group_reduce(c[col_order], v[col_order])
+        self._col_traffic.merge_sorted(cidx, csums)
+
+    # ------------------------------------------------------------------ #
+    # queries (never touch the owning matrix)
+    # ------------------------------------------------------------------ #
+
+    def _require(self, fan: bool = False) -> None:
+        if not self._supported:
+            raise InvalidValue(
+                "incremental reductions unavailable (disabled or non-plus accumulator)"
+            )
+        if fan and not self._fan_supported:
+            raise InvalidValue(
+                "incremental fan/nnz unavailable: shape does not pack into a "
+                "64-bit coordinate key (full IPv6 matrices fall back to materialize)"
+            )
+
+    def row_traffic(self) -> Vector:
+        """Weighted out-degree: per-row sum of every update observed so far."""
+        self._require()
+        self._drain()
+        return self._row_traffic.dup()
+
+    def col_traffic(self) -> Vector:
+        """Weighted in-degree: per-column sum of every update observed so far."""
+        self._require()
+        self._drain()
+        return self._col_traffic.dup()
+
+    def row_fan(self) -> Vector:
+        """Fan-out: number of distinct destinations stored per source row."""
+        self._require(fan=True)
+        self._drain()
+        return self._row_fan.dup()
+
+    def col_fan(self) -> Vector:
+        """Fan-in: number of distinct sources stored per destination column."""
+        self._require(fan=True)
+        self._drain()
+        return self._col_fan.dup()
+
+    def total(self):
+        """Total traffic (sum of every observed update), in the matrix dtype."""
+        self._require()
+        self._drain()
+        return self._row_traffic.reduce("plus")
+
+    def nnz(self) -> int:
+        """Exact logical entry count (cardinality of the distinct-key cascade)."""
+        self._require(fan=True)
+        self._drain()
+        return self._keys.count
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Forget everything (mirrors ``HierarchicalMatrix.clear``)."""
+        self._row_traffic.clear()
+        self._col_traffic.clear()
+        self._row_fan.clear()
+        self._col_fan.clear()
+        self._keys.clear()
+        self._backlog.clear()
+        self._backlog_count = 0
+
+    def rebuild_from_triples(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> None:
+        """Re-derive all state from a materialised (sorted, duplicate-free) COO set.
+
+        Used by checkpoint restore, which injects layer contents without
+        replaying the update stream.  O(n log n) once at load time.
+        """
+        self.reset()
+        if not self._supported:
+            return
+        self.observe(rows, cols, vals, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "unsupported"
+            if not self._supported
+            else ("traffic+fan" if self._fan_supported else "traffic-only")
+        )
+        return (
+            f"<IncrementalReductions {state}, backlog={self._backlog_count}, "
+            f"distinct={self._keys.count}>"
+        )

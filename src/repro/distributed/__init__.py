@@ -5,7 +5,7 @@ engine, and the Figure 2 table assembly."""
 from .aggregate import DEFAULT_SERVER_COUNTS, Figure2Row, build_figure2_table, format_table
 from .engine import ParallelIngestEngine, ParallelIngestResult, ingest_worker
 from .pool import ShardWorkerPool, WorkerCrash, WorkerReport, stream_powerlaw
-from .sharded import ShardRouter, ShardedHierarchicalMatrix
+from .sharded import ShardRouter, ShardedHierarchicalMatrix, ShardedIncrementalReductions
 from .supercloud import ClusterConfig, ScalingPoint, SuperCloudModel
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "ShardWorkerPool",
     "ShardRouter",
     "ShardedHierarchicalMatrix",
+    "ShardedIncrementalReductions",
     "Figure2Row",
     "build_figure2_table",
     "format_table",

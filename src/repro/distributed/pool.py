@@ -21,7 +21,14 @@ in-process state object when ``use_processes=False`` — owns a private
     with the worker's measured ``(updates, seconds)`` so reported rates
     include the pending-tuple sort/merge the stream deferred.
 ``materialize`` / ``get`` / ``reduce``
-    Read the shard: full COO triples, one element, or a row/column reduction.
+    Read the shard: full COO triples, one element, or a row/column reduction
+    (the ``reduce`` command materialises the shard first).
+``stats`` / ``reduce_incremental``
+    Read the shard's *incrementally maintained* reductions (see
+    :mod:`repro.core.reductions`): a scalar snapshot (support flags, total
+    traffic, exact nnz), or one reduction vector as ``(indices, values)``
+    COO pairs — served from the running tracker, so neither command forces
+    the shard's deferred layer-1 flush or a materialize.
 ``report`` / ``clear`` / ``stop``
     Measurement snapshot, state reset, and shutdown.
 
@@ -132,8 +139,21 @@ def stream_powerlaw(
 
 #: Commands that produce exactly one reply on the worker's reply queue.
 _REPLY_COMMANDS = frozenset(
-    {"selfgen", "finalize", "report", "materialize", "get", "reduce", "clear"}
+    {
+        "selfgen",
+        "finalize",
+        "report",
+        "materialize",
+        "get",
+        "reduce",
+        "stats",
+        "reduce_incremental",
+        "clear",
+    }
 )
+
+#: Incremental reduction vectors servable by the ``reduce_incremental`` command.
+_INCREMENTAL_KINDS = frozenset({"row_traffic", "col_traffic", "row_fan", "col_fan"})
 
 
 class _ShardState:
@@ -202,6 +222,23 @@ class _ShardState:
                 else flat.reduce_columnwise(op_name)
             )
             return vec.to_coo()
+        if cmd == "stats":
+            inc = self.matrix.incremental
+            return {
+                "supported": inc.supported,
+                "fan_supported": inc.fan_supported,
+                "total": float(inc.total()) if inc.supported else None,
+                "nnz": inc.nnz() if inc.fan_supported else None,
+                "updates": self.done,
+            }
+        if cmd == "reduce_incremental":
+            kind = payload
+            if kind not in _INCREMENTAL_KINDS:
+                raise ValueError(f"unknown incremental reduction {kind!r}")
+            inc = self.matrix.incremental
+            if not inc.supported or (kind.endswith("fan") and not inc.fan_supported):
+                return None
+            return getattr(inc, kind)().to_coo()
         if cmd == "clear":
             self.matrix.clear()
             self.done = 0
@@ -320,7 +357,18 @@ class ShardWorkerPool:
     # -- dispatch -------------------------------------------------------- #
 
     def submit(self, worker: int, cmd: str, payload=None) -> None:
-        """Dispatch one command without waiting; replies come via :meth:`collect`."""
+        """Dispatch one command without waiting; replies come via :meth:`collect`.
+
+        Parameters
+        ----------
+        worker:
+            0-based worker index.
+        cmd:
+            Command name (see the module docstring for the protocol).
+        payload:
+            Command argument, e.g. the ``(rows, cols, values)`` batch of an
+            ``ingest`` or the ``(row, col)`` pair of a ``get``.
+        """
         if self._closed:
             raise RuntimeError("pool is closed")
         if self.use_processes:
@@ -331,7 +379,11 @@ class ShardWorkerPool:
                 self._pending[worker].append(("ok", result))
 
     def collect(self, worker: int):
-        """Block for the next reply from ``worker`` (FIFO per worker)."""
+        """Block for the next reply from ``worker`` (FIFO per worker).
+
+        Raises :class:`WorkerCrash` when the worker's command failed; the
+        worker itself survives and keeps serving subsequent commands.
+        """
         if self.use_processes:
             status, value = self._replies[worker].get()
         else:
@@ -341,12 +393,16 @@ class ShardWorkerPool:
         return value
 
     def request(self, worker: int, cmd: str, payload=None):
-        """Submit one reply-bearing command and wait for its result."""
+        """Submit one reply-bearing command to ``worker`` and wait for its result."""
         self.submit(worker, cmd, payload)
         return self.collect(worker)
 
     def request_all(self, cmd: str, payload=None) -> list:
-        """Submit to every worker, then gather — workers run concurrently."""
+        """Submit ``cmd`` to every worker, then gather one result per worker.
+
+        Process-backed workers execute concurrently; the returned list is
+        ordered by worker index.
+        """
         for w in range(self.nworkers):
             self.submit(w, cmd, payload)
         return [self.collect(w) for w in range(self.nworkers)]

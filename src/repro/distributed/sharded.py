@@ -39,7 +39,7 @@ from ..workloads.powerlaw import _splitmix64
 from ..workloads.stream import normalize_batch
 from .pool import ShardWorkerPool, WorkerReport
 
-__all__ = ["ShardRouter", "ShardedHierarchicalMatrix"]
+__all__ = ["ShardRouter", "ShardedIncrementalReductions", "ShardedHierarchicalMatrix"]
 
 _KEY_BITS = 64
 
@@ -115,6 +115,116 @@ class ShardRouter:
         return np.minimum(shard, self.nshards - 1)
 
 
+class ShardedIncrementalReductions:
+    """Cross-shard view of the per-shard incremental reduction trackers.
+
+    Presents the same query surface as
+    :class:`~repro.core.reductions.IncrementalReductions` — ``row_traffic`` /
+    ``col_traffic`` / ``row_fan`` / ``col_fan`` / ``total`` / ``nnz`` plus the
+    ``supported`` / ``fan_supported`` flags — so the analytics layer treats a
+    sharded matrix exactly like a flat one.  Each query issues one
+    ``reduce_incremental`` (or ``stats``) command per shard and merges the
+    partial vectors with a sparse ``plus``:
+
+    * traffic vectors: a row's global sum is the sum of its per-shard sums;
+    * fan vectors and ``nnz``: shards own pairwise-disjoint coordinate sets,
+      so distinct-counterparty counts and entry counts add exactly;
+    * ``total``: a plain scalar sum.
+
+    Queries are served from the shards' running trackers and therefore never
+    force a shard's deferred layer-1 flush or a materialize.
+    """
+
+    def __init__(self, owner: "ShardedHierarchicalMatrix"):
+        self._owner = owner
+        self._flags: Optional[Tuple[bool, bool]] = None
+        self._stats_memo: Optional[Tuple[Tuple[int, int], List[dict]]] = None
+
+    def _stats(self) -> List[dict]:
+        # One stats round serves every scalar in a query burst: the reply is
+        # memoised against the owner's routed-update counters, so e.g.
+        # ``degree_summary`` (which reads nnz and total back to back) costs a
+        # single cross-shard round until the next batch is routed.
+        stamp = (self._owner._total_updates, self._owner._batches)
+        if self._stats_memo is not None and self._stats_memo[0] == stamp:
+            return self._stats_memo[1]
+        stats = self._owner._pool.request_all("stats")
+        if self._flags is None:
+            self._flags = (
+                all(s["supported"] for s in stats),
+                all(s["fan_supported"] for s in stats),
+            )
+        self._stats_memo = (stamp, stats)
+        return stats
+
+    def _support_flags(self) -> Tuple[bool, bool]:
+        # Support is a pure function of the (uniform) shard configuration, so
+        # one round of `stats` replies is cached for the view's lifetime (the
+        # view itself lives as long as its owning matrix).
+        if self._flags is None:
+            self._stats()
+        return self._flags
+
+    @property
+    def supported(self) -> bool:
+        """True when every shard maintains the linear (traffic) reductions."""
+        return self._support_flags()[0]
+
+    @property
+    def fan_supported(self) -> bool:
+        """True when every shard also maintains fan/nnz (packable shape)."""
+        return self._support_flags()[1]
+
+    def _merge(self, kind: str, size: int) -> Vector:
+        partials = self._owner._pool.request_all("reduce_incremental", kind)
+        out = Vector(self._owner._dtype, size)
+        for part in partials:
+            if part is None:
+                raise InvalidValue(
+                    f"shard declined incremental reduction {kind!r}; "
+                    "check supported/fan_supported first"
+                )
+            indices, vals = part
+            if indices.size:
+                out.build(indices, vals, dup_op=binary.plus)
+        return out
+
+    def row_traffic(self) -> Vector:
+        """Weighted out-degree merged across shards."""
+        return self._merge("row_traffic", self._owner.nrows)
+
+    def col_traffic(self) -> Vector:
+        """Weighted in-degree merged across shards."""
+        return self._merge("col_traffic", self._owner.ncols)
+
+    def row_fan(self) -> Vector:
+        """Fan-out merged across shards (disjoint ownership makes sums exact)."""
+        return self._merge("row_fan", self._owner.nrows)
+
+    def col_fan(self) -> Vector:
+        """Fan-in merged across shards."""
+        return self._merge("col_fan", self._owner.ncols)
+
+    def total(self) -> float:
+        """Global total traffic (sum of per-shard totals)."""
+        stats = self._stats()
+        if not self._flags[0]:
+            raise InvalidValue(
+                "incremental reductions unavailable (disabled or non-plus accumulator)"
+            )
+        return float(sum(s["total"] for s in stats))
+
+    def nnz(self) -> int:
+        """Exact global logical entry count (shards are disjoint, so a sum)."""
+        stats = self._stats()
+        if not self._flags[1]:
+            raise InvalidValue(
+                "incremental fan/nnz unavailable: shape does not pack into a "
+                "64-bit coordinate key"
+            )
+        return int(sum(s["nnz"] for s in stats))
+
+
 class ShardedHierarchicalMatrix:
     """One logical hierarchical hypersparse matrix partitioned across K shards.
 
@@ -145,8 +255,10 @@ class ShardedHierarchicalMatrix:
         Back shards with long-lived worker processes (streaming parallelism)
         instead of in-process shard states (zero IPC; the default, right for
         tests and single-core machines).
-    defer_ingest / track_stats:
-        Forwarded to every shard's :class:`~repro.core.HierarchicalMatrix`.
+    defer_ingest / track_stats / track_reductions:
+        Forwarded to every shard's :class:`~repro.core.HierarchicalMatrix`;
+        ``track_reductions`` (default True) maintains each shard's incremental
+        reduction vectors, served globally through :attr:`incremental`.
 
     Examples
     --------
@@ -173,6 +285,7 @@ class ShardedHierarchicalMatrix:
         use_processes: bool = False,
         defer_ingest: bool = True,
         track_stats: bool = True,
+        track_reductions: bool = True,
         name: str = "",
     ):
         self._router = ShardRouter(
@@ -189,6 +302,7 @@ class ShardedHierarchicalMatrix:
             "dtype": self._dtype.name,
             "defer_ingest": bool(defer_ingest),
             "track_stats": bool(track_stats),
+            "track_reductions": bool(track_reductions),
         }
         if cuts is not None:
             matrix_kwargs["cuts"] = [int(c) for c in cuts]
@@ -197,6 +311,7 @@ class ShardedHierarchicalMatrix:
         self._pool = ShardWorkerPool(
             nshards, matrix_kwargs=matrix_kwargs, use_processes=use_processes
         )
+        self._incremental = ShardedIncrementalReductions(self)
         self._total_updates = 0
         self._batches = 0
         self.name = name
@@ -252,8 +367,27 @@ class ShardedHierarchicalMatrix:
 
     @property
     def nvals(self) -> int:
-        """Exact number of logical entries (materialises across shards)."""
+        """Exact number of logical entries.
+
+        Served from the incremental trackers when available (no materialize,
+        no flush); otherwise falls back to materialising across shards.
+        """
+        inc = self.incremental
+        if inc.fan_supported:
+            return inc.nnz()
         return self.materialize().nvals
+
+    @property
+    def incremental(self) -> ShardedIncrementalReductions:
+        """Cross-shard view of the incrementally maintained reductions.
+
+        Check :attr:`ShardedIncrementalReductions.supported` (and
+        ``fan_supported`` for fan/nnz) before querying; the analytics layer
+        does so automatically and falls back to materialize-based reductions.
+        The view is cached — its support flags are fetched from the workers
+        once, since they are a pure function of the shard configuration.
+        """
+        return self._incremental
 
     # ------------------------------------------------------------------ #
     # streaming updates

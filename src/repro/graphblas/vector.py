@@ -6,6 +6,15 @@ plus values, so it supports the same hypersparse dimensions as
 IPv4 address space).  The API mirrors the GraphBLAS vector operations: build,
 setElement/extractElement, eWiseAdd/eWiseMult, apply, select, reduce, and
 vector-matrix multiply.
+
+Like :class:`~repro.graphblas.matrix.Matrix`, vectors support deferred
+(``lazy=True``) builds — batches append to a pending buffer in O(n) and the
+sort + duplicate-collapse + merge is postponed until the next read — plus an
+O(n) :meth:`Vector.merge_sorted` fast path for callers that already hold
+sorted, duplicate-free pairs.  The incremental reduction trackers in
+:mod:`repro.core.reductions` merge their fused group-reductions through
+``merge_sorted``, so maintaining per-endpoint degree/traffic profiles never
+re-sorts against the growing stored vectors.
 """
 
 from __future__ import annotations
@@ -45,7 +54,17 @@ class Vector:
     (2, 2)
     """
 
-    __slots__ = ("_size", "_dtype", "_indices", "_vals", "name")
+    __slots__ = (
+        "_size",
+        "_dtype",
+        "_indices",
+        "_vals",
+        "_pend_idx",
+        "_pend_vals",
+        "_pend_count",
+        "_pend_op",
+        "name",
+    )
 
     def __init__(self, dtype="fp64", size: int = MAX_DIM, *, name: str = ""):
         self._dtype = lookup_dtype(dtype)
@@ -55,6 +74,10 @@ class Vector:
         self._size = size
         self._indices = np.empty(0, dtype=K.INDEX_DTYPE)
         self._vals = np.empty(0, dtype=self._dtype.np_type)
+        self._pend_idx: list = []
+        self._pend_vals: list = []
+        self._pend_count = 0
+        self._pend_op: Optional[BinaryOp] = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -87,6 +110,7 @@ class Vector:
 
     def dup(self, *, dtype=None, name: str = "") -> "Vector":
         """Deep copy (optionally cast to ``dtype``)."""
+        self._wait()
         target = lookup_dtype(dtype) if dtype is not None else self._dtype
         out = Vector(target, self._size, name=name or self.name)
         out._indices = self._indices.copy()
@@ -109,16 +133,88 @@ class Vector:
 
     @property
     def nvals(self) -> int:
-        """Number of stored entries."""
+        """Number of stored entries.  Forces completion of pending updates."""
+        self._wait()
         return int(self._indices.size)
 
     @property
+    def nvals_upper_bound(self) -> int:
+        """Stored entries plus pending (not yet merged) entries.
+
+        Unlike :attr:`nvals` this does not force a merge, so it is O(1);
+        deferred-accumulation callers use it to budget flushes cheaply.
+        """
+        return int(self._indices.size) + self._pend_count
+
+    @property
+    def has_pending(self) -> bool:
+        """True when lazily built entries are buffered but not yet merged."""
+        return self._pend_count > 0
+
+    @property
     def memory_usage(self) -> int:
-        """Approximate bytes used by index and value storage."""
-        return int(self._indices.nbytes + self._vals.nbytes)
+        """Approximate bytes used by index, value, and pending storage."""
+        pending = sum(
+            a.nbytes for chunk in (self._pend_idx, self._pend_vals) for a in chunk
+        )
+        return int(self._indices.nbytes + self._vals.nbytes + pending)
+
+    def _append_pending(self, idx: np.ndarray, v: np.ndarray, op: BinaryOp) -> None:
+        """Append validated pairs to the pending buffer under operator ``op``.
+
+        The whole buffer shares one combining operator; switching operators
+        flushes first so ordering semantics are preserved exactly (mirrors
+        :meth:`Matrix._append_pending <repro.graphblas.matrix.Matrix>`).
+        """
+        if idx.size == 0:
+            return
+        if self._pend_count and self._pend_op is not None and self._pend_op is not op:
+            self._wait()
+        self._pend_op = op
+        self._pend_idx.append(idx)
+        self._pend_vals.append(v)
+        self._pend_count += idx.size
 
     def _wait(self) -> None:
-        """No-op (vectors do not buffer pending tuples); kept for API symmetry."""
+        """Merge any pending entries into the sorted representation.
+
+        Mirrors ``GrB_wait`` on :class:`Matrix`: pending insertions are sorted
+        stably (insertion order survives for ``first``/``second``), duplicate
+        indices are collapsed with the buffer's operator, and the result is
+        union-merged into the stored arrays with the same operator.
+        """
+        if self._pend_count == 0:
+            return
+        op = self._pend_op if self._pend_op is not None else binary.second
+        if len(self._pend_idx) == 1:
+            idx = self._pend_idx[0]
+            v = self._pend_vals[0].astype(self._dtype.np_type, copy=False)
+        else:
+            idx = np.concatenate(self._pend_idx)
+            v = np.concatenate(self._pend_vals).astype(self._dtype.np_type, copy=False)
+        self._pend_idx.clear()
+        self._pend_vals.clear()
+        self._pend_count = 0
+        self._pend_op = None
+        order = np.argsort(idx, kind="stable")
+        idx, v = idx[order], v[order]
+        zeros = np.zeros(idx.size, dtype=K.INDEX_DTYPE)
+        idx, _, v = K.collapse_duplicates(idx, zeros, v, op)
+        if self._indices.size == 0:
+            self._indices, self._vals = idx.copy(), v.copy()
+        else:
+            i, _, vv = K.union_merge(
+                (self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals),
+                (idx, np.zeros(idx.size, dtype=K.INDEX_DTYPE), v),
+                op,
+                out_dtype=self._dtype.np_type,
+            )
+            self._indices, self._vals = i, vv
+
+    def wait(self) -> "Vector":
+        """Public ``GrB_wait`` equivalent; returns ``self`` for chaining."""
+        self._wait()
+        return self
 
     # ------------------------------------------------------------------ #
     # updates
@@ -131,8 +227,31 @@ class Vector:
             )
 
     def build(self, indices, values=1, *, dup_op: Optional[BinaryOp] = None,
-              clear: bool = False) -> "Vector":
-        """Insert a batch of (index, value) pairs, merging with ``dup_op`` (default plus)."""
+              clear: bool = False, lazy: bool = False, copy: bool = True) -> "Vector":
+        """Insert a batch of (index, value) pairs, merging with ``dup_op`` (default plus).
+
+        Parameters
+        ----------
+        indices, values:
+            Parallel arrays of entries; ``values`` may be a scalar broadcast
+            over all indices.
+        dup_op:
+            Operator combining duplicate indices (within the batch and against
+            stored entries); default ``plus``.
+        clear:
+            Drop all stored entries first (strict replace-all semantics).
+        lazy:
+            Append the pairs to the pending buffer in O(n) and defer the
+            sort/collapse/merge until the next read, exactly like
+            ``Matrix.build(lazy=True)``.  Requires an associative ``dup_op``
+            (deferral regroups batches); non-associative operators ignore
+            ``lazy`` and build eagerly.
+        copy:
+            Lazy path only: copy caller-supplied arrays into the pending
+            buffer so later caller-side mutation cannot corrupt the deferred
+            merge.  ``copy=False`` transfers ownership instead; callers must
+            not mutate the arrays afterwards.
+        """
         if clear:
             self.clear()
         idx = K.as_index_array(indices, "indices")
@@ -147,6 +266,15 @@ class Vector:
         self._check_indices(idx)
         if dup_op is None:
             dup_op = binary.plus
+        if lazy and dup_op.associative:
+            if copy:
+                if idx is indices:
+                    idx = idx.copy()
+                if v is values:
+                    v = v.copy()
+            self._append_pending(idx, v, dup_op)
+            return self
+        self._wait()
         order = np.argsort(idx, kind="stable")
         idx, v = idx[order], v[order]
         # Collapse duplicates within the batch.
@@ -164,12 +292,49 @@ class Vector:
             self._indices, self._vals = i, vv
         return self
 
+    def merge_sorted(self, indices: np.ndarray, values: np.ndarray,
+                     op: Optional[BinaryOp] = None) -> "Vector":
+        """Merge *sorted, duplicate-free* (index, value) arrays in O(n) — no sort.
+
+        The fast path for callers that already hold grouped reductions (the
+        incremental degree trackers): stored and incoming entries are combined
+        with ``op`` (default ``plus``) by one vectorised two-way merge.
+        Behaviour is identical to ``build(indices, values, dup_op=op)`` for
+        inputs that are sorted and duplicate-free; anything else corrupts the
+        sorted invariant, so callers must guarantee it.
+        """
+        if op is None:
+            op = binary.plus
+        idx = K.as_index_array(indices, "indices")
+        self._check_indices(idx)
+        v = np.asarray(values).astype(self._dtype.np_type, copy=False)
+        if v.size != idx.size:
+            raise DimensionMismatch(
+                f"values length {v.size} does not match index length {idx.size}"
+            )
+        self._wait()
+        if idx.size == 0:
+            return self
+        if self._indices.size == 0:
+            self._indices = idx.astype(K.INDEX_DTYPE, copy=True)
+            self._vals = v.copy()
+            return self
+        i, _, vv = K.union_merge(
+            (self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals),
+            (idx, np.zeros(idx.size, dtype=K.INDEX_DTYPE), v),
+            op,
+            out_dtype=self._dtype.np_type,
+        )
+        self._indices, self._vals = i, vv
+        return self
+
     def setElement(self, index: int, value) -> None:
         """Set a single entry (replaces any existing value)."""
         self.build([index], [value], dup_op=binary.second)
 
     def extractElement(self, index: int, default=None):
         """Read a single entry; ``default`` when not stored."""
+        self._wait()
         pos = np.searchsorted(self._indices, np.uint64(int(index)))
         if pos < self._indices.size and self._indices[pos] == np.uint64(int(index)):
             return self._vals[pos].item()
@@ -179,6 +344,7 @@ class Vector:
 
     def removeElement(self, index: int) -> bool:
         """Delete a single entry; returns True if it was present."""
+        self._wait()
         pos = np.searchsorted(self._indices, np.uint64(int(index)))
         if pos < self._indices.size and self._indices[pos] == np.uint64(int(index)):
             keep = np.ones(self._indices.size, dtype=bool)
@@ -189,9 +355,13 @@ class Vector:
         return False
 
     def clear(self) -> "Vector":
-        """Remove every stored entry."""
+        """Remove every stored entry (including pending ones)."""
         self._indices = np.empty(0, dtype=K.INDEX_DTYPE)
         self._vals = np.empty(0, dtype=self._dtype.np_type)
+        self._pend_idx.clear()
+        self._pend_vals.clear()
+        self._pend_count = 0
+        self._pend_op = None
         return self
 
     def resize(self, size: int) -> "Vector":
@@ -199,6 +369,7 @@ class Vector:
         size = int(size)
         if size <= 0 or size > MAX_DIM:
             raise InvalidValue(f"size must be in [1, 2**64], got {size}")
+        self._wait()
         if self._indices.size and size < MAX_DIM:
             keep = self._indices < np.uint64(size)
             self._indices = self._indices[keep]
@@ -208,6 +379,7 @@ class Vector:
 
     def to_coo(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(indices, values)`` copies of all stored entries."""
+        self._wait()
         return self._indices.copy(), self._vals.copy()
 
     extract_tuples = to_coo
@@ -232,6 +404,8 @@ class Vector:
             raise DimensionMismatch(
                 f"eWiseAdd requires equal sizes, got {self._size} and {other._size}"
             )
+        self._wait()
+        other._wait()
         out_type = op.output_type(self._dtype, other._dtype)
         out = Vector(out_type, self._size)
         i, _, v = K.union_merge(
@@ -250,6 +424,8 @@ class Vector:
             raise DimensionMismatch(
                 f"eWiseMult requires equal sizes, got {self._size} and {other._size}"
             )
+        self._wait()
+        other._wait()
         out_type = op.output_type(self._dtype, other._dtype)
         out = Vector(out_type, self._size)
         i, _, v = K.intersect_merge(
@@ -277,6 +453,7 @@ class Vector:
         """Apply a unary operator (or binary bound to a scalar) to every value."""
         from .unaryop import UnaryOp, unary as unary_ns
 
+        self._wait()
         if isinstance(op, str):
             op = unary_ns[op] if op in unary_ns else binary[op]
         if isinstance(op, UnaryOp):
@@ -299,6 +476,7 @@ class Vector:
         """Keep only the entries satisfying a select operator."""
         if isinstance(op, str):
             op = select_op[op]
+        self._wait()
         keep = np.asarray(
             op(self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals, thunk),
             dtype=bool,
@@ -311,6 +489,7 @@ class Vector:
     def reduce(self, op: Optional[Union[Monoid, str]] = None):
         """Reduce every stored value to a scalar (monoid identity if empty)."""
         m = monoid[op] if isinstance(op, str) else (op or monoid.plus)
+        self._wait()
         return m.reduce(self._vals, dtype=self._dtype)
 
     def vxm(self, matrix, op: Optional[Union[Semiring, str]] = None) -> "Vector":
@@ -319,6 +498,7 @@ class Vector:
 
     def to_dense(self, fill_value=0) -> np.ndarray:
         """Convert to a dense ndarray (guarded against huge logical sizes)."""
+        self._wait()
         if self._size > 10 ** 8:
             raise NotImplementedException(
                 f"refusing to densify a vector of logical size {self._size}"
@@ -333,6 +513,8 @@ class Vector:
             return False
         if check_dtype and self._dtype is not other._dtype:
             return False
+        self._wait()
+        other._wait()
         return bool(
             np.array_equal(self._indices, other._indices)
             and np.array_equal(self._vals, other._vals)
@@ -342,6 +524,8 @@ class Vector:
         """Pattern equality with approximately-equal values."""
         if not isinstance(other, Vector) or self._size != other._size:
             return False
+        self._wait()
+        other._wait()
         if not np.array_equal(self._indices, other._indices):
             return False
         return bool(
@@ -369,6 +553,7 @@ class Vector:
         return self.extractElement(int(index)) is not None
 
     def __iter__(self) -> Iterator[Tuple[int, object]]:
+        self._wait()
         for i in range(self._indices.size):
             yield int(self._indices[i]), self._vals[i].item()
 
@@ -377,4 +562,7 @@ class Vector:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" {self.name!r}" if self.name else ""
-        return f"<Vector{label} size={self._size} {self._dtype.name}, nvals={self.nvals}>"
+        return (
+            f"<Vector{label} size={self._size} {self._dtype.name}, "
+            f"nvals={self.nvals_upper_bound}{'+' if self.has_pending else ''}>"
+        )

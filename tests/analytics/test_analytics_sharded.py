@@ -1,0 +1,128 @@
+"""Analytics on sharded matrices fed through the stream protocol.
+
+The analytics suites previously only exercised flat matrices; these tests feed
+a :class:`ShardedHierarchicalMatrix` real packet streams via the shared batch
+protocol (``ingest``/``normalize_batch``) and assert that every analysis —
+degree summaries, supernode reports, gravity/background models, anomaly
+scoring — matches the flat reference exactly, on both the incremental fast
+path and the forced-materialize path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    anomaly_scores,
+    degree_summary,
+    fan_out,
+    gravity_model,
+    in_degree,
+    out_degree,
+    residual_matrix,
+    supernode_report,
+    top_anomalies,
+    top_destinations,
+    top_sources,
+    total_traffic,
+    traffic_share,
+)
+from repro.core import HierarchicalMatrix
+from repro.distributed import ShardedHierarchicalMatrix
+from repro.graphblas.errors import InvalidValue
+from repro.workloads import synthetic_packets
+
+CUTS = [500, 5_000]
+
+
+@pytest.fixture(scope="module")
+def stream_pair():
+    """A sharded matrix fed via the stream protocol plus its flat reference."""
+    flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+    for batch in synthetic_packets(2_000, 3, seed=9):
+        flat.update(batch.sources, batch.destinations, 1.0)
+    sharded = ShardedHierarchicalMatrix(3, cuts=CUTS)
+    n = sharded.ingest(synthetic_packets(2_000, 3, seed=9))
+    assert n == 6_000
+    yield sharded, flat
+    sharded.close()
+
+
+class TestDegreesOnSharded:
+    def test_degree_summary_matches_flat(self, stream_pair):
+        sharded, flat = stream_pair
+        assert degree_summary(sharded) == degree_summary(flat)
+
+    def test_degree_vectors_match(self, stream_pair):
+        sharded, flat = stream_pair
+        assert out_degree(sharded).isequal(out_degree(flat))
+        assert in_degree(sharded).isequal(in_degree(flat))
+        assert fan_out(sharded).isequal(fan_out(flat))
+
+    def test_total_traffic(self, stream_pair):
+        sharded, _ = stream_pair
+        assert total_traffic(sharded) == 6_000.0
+
+    def test_incremental_equals_materialized_path(self, stream_pair):
+        sharded, _ = stream_pair
+        fast = out_degree(sharded, materialized=False)
+        slow = out_degree(sharded, materialized=True)
+        assert fast.isequal(slow)
+        assert degree_summary(sharded, materialized=False) == degree_summary(
+            sharded, materialized=True
+        )
+
+    def test_materialized_false_raises_on_plain_matrix(self, stream_pair):
+        _, flat = stream_pair
+        with pytest.raises(InvalidValue):
+            out_degree(flat.materialize(), materialized=False)
+
+
+class TestSupernodesOnSharded:
+    def test_report_matches_flat(self, stream_pair):
+        sharded, flat = stream_pair
+        assert supernode_report(sharded, 5) == supernode_report(flat, 5)
+
+    def test_top_k_both_paths(self, stream_pair):
+        sharded, _ = stream_pair
+        assert top_sources(sharded, 3, materialized=False) == top_sources(
+            sharded, 3, materialized=True
+        )
+        assert top_destinations(sharded, 3) == top_destinations(
+            sharded, 3, materialized=True
+        )
+
+    def test_share_is_concentrated(self, stream_pair):
+        sharded, _ = stream_pair
+        src_share, dst_share = traffic_share(sharded, 10)
+        assert 0 < src_share <= 1.0 and 0 < dst_share <= 1.0
+
+
+class TestBackgroundOnSharded:
+    def test_gravity_model_matches_flat(self, stream_pair):
+        sharded, flat = stream_pair
+        assert gravity_model(sharded).isequal(gravity_model(flat))
+
+    def test_gravity_incremental_marginals_equal_materialized(self, stream_pair):
+        sharded, _ = stream_pair
+        assert gravity_model(sharded, materialized=False).isequal(
+            gravity_model(sharded, materialized=True)
+        )
+
+    def test_residuals_and_anomalies_match_flat(self, stream_pair):
+        sharded, flat = stream_pair
+        assert residual_matrix(sharded).isequal(residual_matrix(flat))
+        assert anomaly_scores(sharded).isequal(anomaly_scores(flat))
+        assert top_anomalies(sharded, 5) == top_anomalies(flat, 5)
+
+
+class TestProcessBackedAnalytics:
+    def test_stats_through_worker_processes(self):
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for batch in synthetic_packets(1_000, 2, seed=4):
+            flat.update(batch.sources, batch.destinations, 1.0)
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True
+        ) as sharded:
+            sharded.ingest(synthetic_packets(1_000, 2, seed=4))
+            assert degree_summary(sharded) == degree_summary(flat)
+            assert supernode_report(sharded, 3) == supernode_report(flat, 3)

@@ -104,6 +104,28 @@ class TestShardCLI:
         assert payload["total_updates"] == 1500
         assert sum(s["updates"] for s in payload["per_shard"]) == 1500
 
+    def test_stats_text_output(self, capsys):
+        rc = main_shard(
+            ["--shards", "2", "--updates", "6000", "--batch-size", "2000",
+             "--cuts", "1000,10000", "--stats"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "incremental traffic statistics" in out
+        assert "total traffic:         6,000" in out
+        assert "top source share" in out
+
+    def test_stats_json_matches_materialized_nvals(self, capsys):
+        rc = main_shard(
+            ["--shards", "3", "--updates", "5000", "--batch-size", "1000",
+             "--cuts", "1000,10000", "--stats", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["nnz"] == payload["global_nvals"]
+        assert payload["stats"]["total_traffic"] == 5000.0
+        assert len(payload["supernodes"]["top_sources"]) == 5
+
     def test_replay_file(self, tmp_path, capsys):
         replay = tmp_path / "capture.tsv"
         lines = [f"{i % 7}\t{i % 5}\t1.0" for i in range(100)]
