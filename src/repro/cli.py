@@ -256,6 +256,12 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         help="back shards with long-lived worker processes (default: in-process)",
     )
     parser.add_argument(
+        "--transport", choices=["queue", "shm"], default="queue",
+        help="worker wire with --processes: pickled FIFO queues (default) or "
+        "shared-memory ring buffers carrying packed uint64 batches (zero "
+        "pickling; falls back to queue for non-packable IPv6 shapes)",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print the incrementally maintained traffic statistics (degree "
         "summary + top supernodes) served without materialising the shards",
@@ -293,7 +299,9 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         cuts=args.cuts,
         partition=args.partition,
         use_processes=args.processes,
+        transport=args.transport,
     )
+    transport_in_force = matrix.transport
     with matrix:
         wall_start = time.perf_counter()
         total = matrix.ingest(stream)
@@ -317,6 +325,7 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         payload = {
             "shards": args.shards,
             "partition": args.partition,
+            "transport": transport_in_force,
             "source": "replay" if args.replay else args.source,
             "total_updates": total,
             "wall_seconds": wall,
@@ -340,6 +349,7 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(f"shards:                {args.shards} ({args.partition} partition)")
+        print(f"transport:             {transport_in_force}")
         print(f"source:                {'replay ' + args.replay if args.replay else args.source}")
         print(f"total updates:         {total:,}")
         print(f"wall seconds:          {wall:.3f}")

@@ -1,12 +1,23 @@
 """Distributed-scaling substrate: the SuperCloud model, the persistent shard
-worker pool, the sharded hierarchical matrix, the local parallel ingest
+worker pool and its pluggable transports (pickled queues or shared-memory
+ring buffers), the sharded hierarchical matrix, the local parallel ingest
 engine, and the Figure 2 table assembly."""
 
 from .aggregate import DEFAULT_SERVER_COUNTS, Figure2Row, build_figure2_table, format_table
 from .engine import ParallelIngestEngine, ParallelIngestResult, ingest_worker
 from .pool import ShardWorkerPool, WorkerCrash, WorkerReport, stream_powerlaw
+from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, RingTimeout, ShmRing
 from .sharded import ShardRouter, ShardedHierarchicalMatrix, ShardedIncrementalReductions
 from .supercloud import ClusterConfig, ScalingPoint, SuperCloudModel
+from .transport import (
+    TRANSPORT_NAMES,
+    QueueTransport,
+    ShardTransport,
+    ShmRingTransport,
+    ValueCodec,
+    make_transport,
+    shm_supported,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -22,6 +33,17 @@ __all__ = [
     "ShardRouter",
     "ShardedHierarchicalMatrix",
     "ShardedIncrementalReductions",
+    "ShardTransport",
+    "QueueTransport",
+    "ShmRingTransport",
+    "ValueCodec",
+    "make_transport",
+    "shm_supported",
+    "TRANSPORT_NAMES",
+    "ShmRing",
+    "RingClosed",
+    "RingTimeout",
+    "DEFAULT_RING_SLOTS",
     "Figure2Row",
     "build_figure2_table",
     "format_table",

@@ -140,6 +140,11 @@ class ParallelIngestEngine:
         When False the workers run sequentially in-process (useful on
         single-core machines and in unit tests where fork overhead dominates);
         the aggregation logic is identical.
+    transport:
+        Worker wire for process-backed runs (``"queue"`` or ``"shm"``; see
+        :mod:`repro.distributed.transport`).  The self-generated workload
+        never ships batches across the boundary, so this mainly matters when
+        comparing engine runs against externally fed sharded ingest.
 
     Examples
     --------
@@ -155,12 +160,14 @@ class ParallelIngestEngine:
         *,
         cuts: Sequence[int] = (2 ** 17, 2 ** 20, 2 ** 23),
         use_processes: bool = True,
+        transport: str = "queue",
     ):
         self.nworkers = int(nworkers) if nworkers is not None else (os.cpu_count() or 1)
         if self.nworkers < 1:
             raise ValueError("nworkers must be >= 1")
         self.cuts = list(cuts)
         self.use_processes = use_processes
+        self.transport = transport
 
     def run(
         self,
@@ -186,6 +193,7 @@ class ParallelIngestEngine:
             self.nworkers,
             matrix_kwargs=matrix_kwargs,
             use_processes=self.use_processes and self.nworkers > 1,
+            transport=self.transport,
         ) as pool:
             reports = pool.request_all("selfgen", spec)
         wall = time.perf_counter() - wall_start

@@ -1,4 +1,4 @@
-"""Persistent shard-worker pool: long-lived processes fed batches over queues.
+"""Persistent shard-worker pool: long-lived workers behind pluggable transports.
 
 PR 1's parallel engine could only run *one-shot* workers (``pool.map`` over a
 function that generated its own workload), which rules out the serving shapes
@@ -32,266 +32,40 @@ in-process state object when ``use_processes=False`` — owns a private
 ``report`` / ``clear`` / ``stop``
     Measurement snapshot, state reset, and shutdown.
 
-Commands queue FIFO per worker, so a reply-bearing command acts as a barrier
-for every ``ingest`` submitted before it.  Worker-side exceptions are caught
-and re-raised in the parent as :class:`WorkerCrash` at the next reply instead
-of deadlocking the queues.
+How commands travel is the transport's business
+(:mod:`repro.distributed.transport`, PR 4): the default ``queue`` wire moves
+everything over per-worker pickled FIFO queues; the ``shm`` wire moves ingest
+batches through per-worker shared-memory ring buffers as packed ``uint64``
+keys + raw value bits (zero pickling on the hot path) with a watermarked
+control side-channel.  Either way the ordering contract is identical — a
+reply-bearing command acts as a barrier for every ``ingest`` submitted before
+it — and worker-side exceptions are re-raised in the parent as
+:class:`WorkerCrash` at the next reply instead of deadlocking; a worker that
+*dies* is detected by liveness polling.  The conformance suite
+(``tests/distributed/test_transport.py``) asserts every transport yields
+bit-identical results.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-import time
-import traceback
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional
 
-import numpy as np
-
-from ..core import HierarchicalMatrix
-from ..graphblas.binaryop import binary
-from ..workloads.powerlaw import powerlaw_edges
+from .transport import make_transport
+from .worker import (
+    KNOWN_COMMANDS,
+    REPLY_COMMANDS,
+    ShardState,
+    WorkerCrash,
+    WorkerReport,
+    stream_powerlaw,
+)
 
 __all__ = ["WorkerReport", "WorkerCrash", "ShardWorkerPool", "stream_powerlaw"]
 
 
-@dataclass(frozen=True)
-class WorkerReport:
-    """Result of one worker's measured ingest.
-
-    Attributes
-    ----------
-    worker_id:
-        0-based worker index.
-    total_updates:
-        Element updates streamed by this worker.
-    elapsed_seconds:
-        Wall-clock time spent inside ``update`` calls plus the forced final
-        flush of deferred pending tuples.
-    updates_per_second:
-        This worker's measured rate.
-    final_nvals:
-        Stored entries in the worker's materialised matrix (sanity check).
-    cascades:
-        Per-layer cascade counts.
-    """
-
-    worker_id: int
-    total_updates: int
-    elapsed_seconds: float
-    updates_per_second: float
-    final_nvals: int
-    cascades: List[int] = field(default_factory=list)
-
-
-class WorkerCrash(RuntimeError):
-    """A shard worker raised while executing a command; carries its traceback."""
-
-
-def stream_powerlaw(
-    matrix: HierarchicalMatrix,
-    worker_id: int,
-    total_updates: int,
-    batch_size: int,
-    *,
-    nnodes: int = 2 ** 32,
-    alpha: float = 1.3,
-    distinct_nodes: int = 2 ** 22,
-    seed: Optional[int] = None,
-) -> Tuple[int, float]:
-    """Generate and stream exactly ``total_updates`` power-law edges.
-
-    Returns ``(updates_streamed, timed_seconds)``.  Measured the way the paper
-    measures: generation time is excluded (data resides in arrays before the
-    timed insert), every ``update`` call is timed, the last batch is a partial
-    batch when ``batch_size`` does not divide ``total_updates``, and the
-    deferred layer-1 flush is forced *inside* the timed section so the
-    reported rate pays for the sort/merge work the stream deferred.
-    """
-    rng_seed = (seed if seed is not None else 0) + worker_id * 1_000_003
-    total = max(int(total_updates), 0)
-    batch_size = max(int(batch_size), 1)
-    elapsed = 0.0
-    done = 0
-    b = 0
-    while done < total:
-        n = min(batch_size, total - done)
-        rows, cols = powerlaw_edges(
-            n,
-            alpha=alpha,
-            nnodes=nnodes,
-            distinct_nodes=distinct_nodes,
-            seed=rng_seed + b,
-        )
-        values = np.ones(n, dtype=np.float64)
-        start = time.perf_counter()
-        matrix.update(rows, cols, values)
-        elapsed += time.perf_counter() - start
-        done += n
-        b += 1
-    start = time.perf_counter()
-    matrix.wait()  # the deferred flush is ingest work, not query work
-    elapsed += time.perf_counter() - start
-    return done, elapsed
-
-
-#: Commands that produce exactly one reply on the worker's reply queue.
-_REPLY_COMMANDS = frozenset(
-    {
-        "selfgen",
-        "finalize",
-        "report",
-        "materialize",
-        "get",
-        "reduce",
-        "stats",
-        "reduce_incremental",
-        "clear",
-    }
-)
-
-#: Incremental reduction vectors servable by the ``reduce_incremental`` command.
-_INCREMENTAL_KINDS = frozenset({"row_traffic", "col_traffic", "row_fan", "col_fan"})
-
-
-class _ShardState:
-    """One worker's state: a private hierarchical matrix plus ingest counters.
-
-    Runs identically inside a long-lived child process and in-process
-    (``use_processes=False``), so unit tests and single-core machines exercise
-    the same command protocol without fork overhead.
-    """
-
-    def __init__(self, worker_id: int, matrix_kwargs: Optional[Dict[str, Any]] = None):
-        kwargs = dict(matrix_kwargs or {})
-        nrows = kwargs.pop("nrows", 2 ** 32)
-        ncols = kwargs.pop("ncols", 2 ** 32)
-        dtype = kwargs.pop("dtype", "fp64")
-        accum = kwargs.pop("accum", None)
-        if isinstance(accum, str):
-            # Operators cross the process boundary by registry name.
-            accum = binary[accum]
-        self.worker_id = int(worker_id)
-        self.matrix = HierarchicalMatrix(nrows, ncols, dtype, accum=accum, **kwargs)
-        self.done = 0
-        self.elapsed = 0.0
-
-    # -- command handlers ------------------------------------------------ #
-
-    def handle(self, cmd: str, payload) -> Any:
-        if cmd == "ingest":
-            rows, cols, values = payload
-            n = rows.size
-            start = time.perf_counter()
-            self.matrix.update(rows, cols, values)
-            self.elapsed += time.perf_counter() - start
-            self.done += int(n)
-            return None
-        if cmd == "selfgen":
-            spec = dict(payload)
-            done, elapsed = stream_powerlaw(
-                self.matrix,
-                self.worker_id,
-                spec.pop("total_updates"),
-                spec.pop("batch_size"),
-                **spec,
-            )
-            self.done += done
-            self.elapsed += elapsed
-            return self.report()
-        if cmd == "finalize":
-            start = time.perf_counter()
-            self.matrix.wait()
-            self.elapsed += time.perf_counter() - start
-            return {"total_updates": self.done, "elapsed_seconds": self.elapsed}
-        if cmd == "report":
-            return self.report()
-        if cmd == "materialize":
-            return self.matrix.materialize().extract_tuples()
-        if cmd == "get":
-            row, col = payload
-            return self.matrix.get(row, col, None)
-        if cmd == "reduce":
-            axis, op_name = payload
-            flat = self.matrix.materialize()
-            vec = (
-                flat.reduce_rowwise(op_name)
-                if axis == "row"
-                else flat.reduce_columnwise(op_name)
-            )
-            return vec.to_coo()
-        if cmd == "stats":
-            inc = self.matrix.incremental
-            return {
-                "supported": inc.supported,
-                "fan_supported": inc.fan_supported,
-                "total": float(inc.total()) if inc.supported else None,
-                "nnz": inc.nnz() if inc.fan_supported else None,
-                "updates": self.done,
-            }
-        if cmd == "reduce_incremental":
-            kind = payload
-            if kind not in _INCREMENTAL_KINDS:
-                raise ValueError(f"unknown incremental reduction {kind!r}")
-            inc = self.matrix.incremental
-            if not inc.supported or (kind.endswith("fan") and not inc.fan_supported):
-                return None
-            return getattr(inc, kind)().to_coo()
-        if cmd == "clear":
-            self.matrix.clear()
-            self.done = 0
-            self.elapsed = 0.0
-            return True
-        raise ValueError(f"unknown worker command {cmd!r}")
-
-    def report(self) -> WorkerReport:
-        stats = self.matrix.stats
-        rate = self.done / self.elapsed if self.elapsed > 0 else 0.0
-        return WorkerReport(
-            worker_id=self.worker_id,
-            total_updates=self.done,
-            elapsed_seconds=self.elapsed,
-            updates_per_second=rate,
-            final_nvals=self.matrix.materialize().nvals,
-            cascades=list(stats.cascades) if stats is not None else [],
-        )
-
-
-def _pool_worker_main(worker_id, matrix_kwargs, task_queue, reply_queue) -> None:
-    """Child-process loop: pop commands, run them, push replies, never crash.
-
-    Errors are stored and delivered at the next reply-bearing command so the
-    parent raises :class:`WorkerCrash` instead of hanging on an empty queue.
-    """
-    state = None
-    init_error = None
-    try:
-        state = _ShardState(worker_id, matrix_kwargs)
-    except Exception:  # pragma: no cover - construction is trivial to satisfy
-        init_error = traceback.format_exc()
-    pending_error = init_error
-    while True:
-        cmd, payload = task_queue.get()
-        if cmd == "stop":
-            break
-        result = None
-        if pending_error is None:
-            try:
-                result = state.handle(cmd, payload)
-            except Exception:
-                pending_error = traceback.format_exc()
-        if cmd in _REPLY_COMMANDS:
-            if pending_error is not None:
-                reply_queue.put(("error", pending_error))
-                pending_error = init_error
-            else:
-                reply_queue.put(("ok", result))
-
-
 class ShardWorkerPool:
-    """K long-lived shard workers fed commands over per-worker FIFO queues.
+    """K long-lived shard workers behind a pluggable transport.
 
     Parameters
     ----------
@@ -307,6 +81,16 @@ class ShardWorkerPool:
         available, else spawn).  When False workers are in-process state
         objects executing synchronously — identical semantics, no IPC, which
         is what unit tests and the bit-identity property suite use.
+    transport:
+        Wire between the parent and process-backed workers: ``"queue"``
+        (default; pickled FIFO queues) or ``"shm"`` (shared-memory ring
+        buffers for ingest batches; falls back to ``queue`` for
+        configurations the ring cannot carry bit-exactly, e.g. full 64-bit
+        IPv6 shapes).  Ignored when ``use_processes=False``.
+    ring_slots:
+        Ring capacity per worker for the ``shm`` transport (slots of one
+        coordinate key + one value each); default
+        :data:`~repro.distributed.ringbuf.DEFAULT_RING_SLOTS`.
 
     Examples
     --------
@@ -325,6 +109,8 @@ class ShardWorkerPool:
         *,
         matrix_kwargs: Optional[Dict[str, Any]] = None,
         use_processes: bool = True,
+        transport: str = "queue",
+        ring_slots: Optional[int] = None,
     ):
         self.nworkers = int(nworkers)
         if self.nworkers < 1:
@@ -333,26 +119,31 @@ class ShardWorkerPool:
         self.use_processes = bool(use_processes)
         self._closed = False
         if self.use_processes:
-            ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context("spawn")
-            self._tasks = [ctx.Queue() for _ in range(self.nworkers)]
-            self._replies = [ctx.Queue() for _ in range(self.nworkers)]
-            self._procs = [
-                ctx.Process(
-                    target=_pool_worker_main,
-                    args=(w, self._matrix_kwargs, self._tasks[w], self._replies[w]),
-                    daemon=True,
-                )
-                for w in range(self.nworkers)
-            ]
-            for p in self._procs:
-                p.start()
+            self._transport = make_transport(
+                transport, self.nworkers, self._matrix_kwargs, ring_slots=ring_slots
+            )
             self._states = None
             self._pending = None
         else:
+            self._transport = None
             self._states = [
-                _ShardState(w, self._matrix_kwargs) for w in range(self.nworkers)
+                ShardState(w, self._matrix_kwargs) for w in range(self.nworkers)
             ]
             self._pending = [deque() for _ in range(self.nworkers)]
+
+    @property
+    def transport_name(self) -> str:
+        """Wire actually in force: ``"inproc"``, ``"queue"``, or ``"shm"``.
+
+        May differ from the requested transport when ``shm`` fell back to
+        ``queue`` for a non-packable configuration.
+        """
+        return self._transport.name if self._transport is not None else "inproc"
+
+    @property
+    def processes(self) -> list:
+        """Worker processes (empty in-process); fault tests kill these."""
+        return self._transport.processes if self._transport is not None else []
 
     # -- dispatch -------------------------------------------------------- #
 
@@ -371,21 +162,45 @@ class ShardWorkerPool:
         """
         if self._closed:
             raise RuntimeError("pool is closed")
-        if self.use_processes:
-            self._tasks[worker].put((cmd, payload))
+        if cmd not in KNOWN_COMMANDS:
+            # Fail fast in the parent: a fire-and-forget typo would otherwise
+            # only surface at some later reply (or never).
+            raise ValueError(f"unknown worker command {cmd!r}")
+        if cmd == "ingest":
+            rows, cols, values = payload
+            self.submit_ingest(worker, rows, cols, values)
+        elif self._transport is not None:
+            self._transport.send_control(worker, cmd, payload)
         else:
             result = self._states[worker].handle(cmd, payload)
-            if cmd in _REPLY_COMMANDS:
+            if cmd in REPLY_COMMANDS:
                 self._pending[worker].append(("ok", result))
+
+    def submit_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
+        """Fire-and-forget one ingest batch (the streaming hot path).
+
+        ``keys`` optionally carries the coordinates already packed under the
+        shape's 64-bit split (what :meth:`ShardRouter.route
+        <repro.distributed.sharded.ShardRouter.route>` returns); the shm
+        transport ships them as-is instead of packing a second time.  Other
+        wires ignore it.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._transport is not None:
+            self._transport.send_ingest(worker, rows, cols, values, keys=keys)
+        else:
+            self._states[worker].handle("ingest", (rows, cols, values))
 
     def collect(self, worker: int):
         """Block for the next reply from ``worker`` (FIFO per worker).
 
-        Raises :class:`WorkerCrash` when the worker's command failed; the
-        worker itself survives and keeps serving subsequent commands.
+        Raises :class:`WorkerCrash` when the worker's command failed or the
+        worker process died; a worker that merely raised survives and keeps
+        serving subsequent commands.
         """
-        if self.use_processes:
-            status, value = self._replies[worker].get()
+        if self._transport is not None:
+            status, value = self._transport.recv_reply(worker)
         else:
             status, value = self._pending[worker].popleft()
         if status == "error":
@@ -414,18 +229,8 @@ class ShardWorkerPool:
         if self._closed:
             return
         self._closed = True
-        if self.use_processes:
-            for q in self._tasks:
-                try:
-                    q.put(("stop", None))
-                except Exception:  # pragma: no cover - queue already torn down
-                    pass
-            for p in self._procs:
-                p.join(timeout=5)
-                if p.is_alive():  # pragma: no cover - defensive
-                    p.terminate()
-            for q in (*self._tasks, *self._replies):
-                q.close()
+        if self._transport is not None:
+            self._transport.close()
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

@@ -1,0 +1,343 @@
+"""Single-producer/single-consumer shared-memory ring buffer for ingest batches.
+
+The queue transport pays one pickle + one unpickle per routed batch — the
+dominant IPC cost in the sharded engine (the ``rate_wall`` vs ``rate_sum``
+gap tracked in ``BENCH_kernels.json``).  This ring carries a batch across the
+process boundary as two raw ``uint64`` array copies instead: the packed
+coordinate keys of the PR-1 codec (``(row << col_bits) | col``) and the raw
+64-bit patterns of the values.  No serialisation happens on either side.
+
+Layout of the shared block (all slots are little-endian ``uint64``)::
+
+    header (24 slots; producer and consumer counters on separate cache lines)
+      [0]  write_seq        total ring slots published by the producer
+      [1]  batches_written  frames published by the producer
+      [8]  read_seq         total ring slots consumed by the consumer
+      [9]  batches_read     frames consumed by the consumer
+      [16] closed           either side sets 1 to refuse further pushes
+      [17] capacity         slot count, written once by the creator
+    keys   [capacity slots]
+    bits   [capacity slots]
+
+A *frame* is one pushed batch: a single header slot (``keys[i] = n``, the
+payload length; ``bits[i]`` = caller-defined frame flags) followed by ``n``
+key slots and ``n`` value slots, wrapping modulo the capacity.
+``write_seq``/``read_seq`` are monotone slot counters — the watermark
+handshake: free space is ``capacity - (write_seq - read_seq)``, the producer
+spins (with an exponential-backoff sleep and an optional liveness probe)
+while a frame does not fit, and the consumer spins while the ring is empty.
+``batches_written``/``batches_read`` are frame sequence numbers.  The shm
+transport uses the flags word to interleave empty *control-barrier* frames
+with data frames, so the ring itself totally orders ingest against control
+commands.
+
+Correctness of the lock-free handoff relies on the SPSC discipline: exactly
+one producer thread and one consumer process.  The producer writes the
+payload slots first and publishes ``write_seq`` last; the consumer reads
+``write_seq`` first and advances ``read_seq`` only after copying the payload
+out.  Counters are aligned 8-byte stores (atomic on the 64-bit platforms
+NumPy supports), and the publish/consume ordering is safe on
+total-store-order hardware (x86-64) and in practice on AArch64, where the
+interpreter's own synchronisation serialises far more than these two stores.
+Property tests in ``tests/distributed/test_ringbuf.py`` exercise wraparound,
+backpressure, and sequence agreement in one process; the conformance suite
+exercises the cross-process path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShmRing", "RingClosed", "RingTimeout", "DEFAULT_RING_SLOTS"]
+
+#: Default ring capacity in slots (16 bytes of payload per slot across the
+#: two arrays): 128Ki slots = 2 MiB per worker — enough to pipeline several
+#: 50k-update batches without the producer waiting mid-split.
+DEFAULT_RING_SLOTS = 1 << 17
+
+_HEADER_SLOTS = 24
+_W, _BW = 0, 1  # producer cache line
+_R, _BR = 8, 9  # consumer cache line
+_CLOSED, _CAPACITY = 16, 17  # cold line
+
+
+class RingClosed(RuntimeError):
+    """Pushed to a ring whose peer is gone or which was explicitly closed."""
+
+
+class RingTimeout(TimeoutError):
+    """A bounded push/pop wait expired before space/data appeared."""
+
+
+class ShmRing:
+    """SPSC ring of ``(uint64 key, uint64 value-bits)`` batch frames.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size in slots.  A frame of ``n`` items needs ``n + 1`` slots;
+        batches larger than ``capacity - 1`` are split by :meth:`push`.
+    name:
+        Shared-memory block name.  Required when attaching
+        (``create=False``); auto-generated when creating.
+    create:
+        Create (and own) the block, or attach to an existing one.  The
+        creator should eventually call :meth:`destroy`; attachers only
+        :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RING_SLOTS,
+        *,
+        name: Optional[str] = None,
+        create: bool = True,
+    ):
+        self._created = bool(create)
+        if create:
+            capacity = int(capacity)
+            if capacity < 2:
+                raise ValueError("ring capacity must be at least 2 slots")
+            nbytes = (_HEADER_SLOTS + 2 * capacity) * 8
+            self._shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        else:
+            if name is None:
+                raise ValueError("attaching to a ring requires its name")
+            self._shm = shared_memory.SharedMemory(name=name)
+        self._name = self._shm.name
+        # Fork copies this object into worker processes; only the process
+        # that created the block may ever unlink it (see destroy()).
+        self._owner_pid = os.getpid() if create else -1
+        hdr = np.ndarray((_HEADER_SLOTS,), dtype=np.uint64, buffer=self._shm.buf)
+        if create:
+            hdr[:] = 0
+            hdr[_CAPACITY] = capacity
+        else:
+            capacity = int(hdr[_CAPACITY])
+        self._capacity = capacity
+        self._hdr = hdr
+        offset = _HEADER_SLOTS * 8
+        self._keys = np.ndarray(
+            (capacity,), dtype=np.uint64, buffer=self._shm.buf, offset=offset
+        )
+        self._bits = np.ndarray(
+            (capacity,), dtype=np.uint64, buffer=self._shm.buf, offset=offset + capacity * 8
+        )
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Attach to an existing ring by shared-memory block name."""
+        return cls(name=name, create=False)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Shared-memory block name (pass to :meth:`attach` in the peer)."""
+        return self._name
+
+    @property
+    def capacity(self) -> int:
+        """Ring size in slots."""
+        return self._capacity
+
+    @property
+    def write_seq(self) -> int:
+        """Total slots published by the producer (monotone)."""
+        return int(self._hdr[_W])
+
+    @property
+    def read_seq(self) -> int:
+        """Total slots consumed by the consumer (monotone)."""
+        return int(self._hdr[_R])
+
+    @property
+    def batches_written(self) -> int:
+        """Frames published by the producer (the producer-side watermark)."""
+        return int(self._hdr[_BW])
+
+    @property
+    def batches_read(self) -> int:
+        """Frames consumed by the consumer (the consumer-side watermark)."""
+        return int(self._hdr[_BR])
+
+    @property
+    def used(self) -> int:
+        """Slots currently occupied."""
+        return int(self._hdr[_W]) - int(self._hdr[_R])
+
+    @property
+    def free(self) -> int:
+        """Slots currently free."""
+        return self._capacity - self.used
+
+    @property
+    def closed(self) -> bool:
+        """Whether either side marked the ring closed."""
+        return bool(self._hdr[_CLOSED])
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+
+    def push(
+        self,
+        keys: np.ndarray,
+        bits: np.ndarray,
+        *,
+        flags: int = 0,
+        timeout: Optional[float] = None,
+        poll: float = 5e-5,
+        still_alive: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Publish one batch, splitting it into frames that fit the ring.
+
+        Blocks while the ring lacks space (the backpressure handshake),
+        sleeping with exponential backoff between checks.  ``still_alive`` is
+        probed during the wait so a dead consumer raises :class:`RingClosed`
+        instead of spinning forever; a bounded ``timeout`` raises
+        :class:`RingTimeout`.  ``flags`` is an opaque per-frame word handed
+        back by :meth:`pop` (every split frame carries the same flags).
+        Returns the number of frames published (>= 1; more when the batch was
+        split because it exceeds ``capacity - 1`` payload slots).
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        bits = np.ascontiguousarray(bits, dtype=np.uint64)
+        if keys.size != bits.size:
+            raise ValueError(
+                f"keys and value-bits differ in length ({keys.size} vs {bits.size})"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        max_payload = self._capacity - 1
+        frames = 0
+        start = 0
+        while True:
+            stop = min(start + max_payload, keys.size)
+            self._push_frame(
+                keys[start:stop], bits[start:stop], flags, deadline, poll, still_alive
+            )
+            frames += 1
+            start = stop
+            if start >= keys.size:
+                return frames
+
+    def _push_frame(self, keys, bits, flags, deadline, poll, still_alive) -> None:
+        n = keys.size
+        need = n + 1
+        if self._hdr[_CLOSED]:
+            raise RingClosed("ring is closed")
+        w = int(self._hdr[_W])
+        backoff = poll
+        while self._capacity - (w - int(self._hdr[_R])) < need:
+            if self._hdr[_CLOSED]:
+                raise RingClosed("ring is closed")
+            if still_alive is not None and not still_alive():
+                raise RingClosed("ring consumer is gone")
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(
+                    f"no space for a {need}-slot frame "
+                    f"(capacity {self._capacity}, used {self.used})"
+                )
+            # Exponential backoff: a long wait means the consumer is busy
+            # applying batches, and on shared cores a tight spin here would
+            # steal exactly the cycles it is waiting for.
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 0.002)
+        idx = w % self._capacity
+        self._keys[idx] = n
+        self._bits[idx] = np.uint64(flags)
+        self._copy_in(self._keys, idx + 1, keys)
+        self._copy_in(self._bits, idx + 1, bits)
+        # Publish order matters (see module docstring): payload first, then
+        # the frame counter, then the slot counter the consumer polls.
+        self._hdr[_BW] += np.uint64(1)
+        self._hdr[_W] = np.uint64(w + need)
+
+    def _copy_in(self, ring: np.ndarray, start: int, data: np.ndarray) -> None:
+        start %= self._capacity
+        first = min(self._capacity - start, data.size)
+        ring[start : start + first] = data[:first]
+        if data.size > first:
+            ring[: data.size - first] = data[first:]
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+
+    def pop(self) -> Optional[Tuple[np.ndarray, np.ndarray, int]]:
+        """Consume the next frame, or return ``None`` when the ring is empty.
+
+        Returns fresh ``(keys, value_bits, flags)`` — the arrays are copies
+        (the slots are recycled as soon as ``read_seq`` advances) and
+        ``flags`` is the word the producer passed to :meth:`push`.
+        """
+        r = int(self._hdr[_R])
+        if r == int(self._hdr[_W]):
+            return None
+        idx = r % self._capacity
+        n = int(self._keys[idx])
+        flags = int(self._bits[idx])
+        keys = self._copy_out(self._keys, idx + 1, n)
+        bits = self._copy_out(self._bits, idx + 1, n)
+        # Consume order: payload copied out first, then the slots released.
+        self._hdr[_BR] += np.uint64(1)
+        self._hdr[_R] = np.uint64(r + n + 1)
+        return keys, bits, flags
+
+    def _copy_out(self, ring: np.ndarray, start: int, n: int) -> np.ndarray:
+        start %= self._capacity
+        out = np.empty(n, dtype=np.uint64)
+        first = min(self._capacity - start, n)
+        out[:first] = ring[start : start + first]
+        if n > first:
+            out[first:] = ring[: n - first]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def mark_closed(self) -> None:
+        """Refuse further pushes (both sides observe :attr:`closed`)."""
+        self._hdr[_CLOSED] = np.uint64(1)
+
+    def close(self) -> None:
+        """Detach from the block; idempotent.  Attachers stop here."""
+        if self._shm is None:
+            return
+        self._hdr = self._keys = self._bits = None
+        # Attaching registers the block with the (session-global) resource
+        # tracker again, but its cache is a set: the creator's unlink sends
+        # the one unregister that clears the entry, so attachers must NOT
+        # unregister here — a second message crashes the tracker's loop.
+        self._shm.close()
+        self._shm = None
+
+    def destroy(self) -> None:
+        """Unlink (creating process only) and close; idempotent.
+
+        The PID check keeps fork-inherited copies of a creator handle — every
+        worker child holds them — from unlinking the block when that child
+        exits while the parent (or a sibling worker) is still attached.
+        """
+        if self._shm is None:
+            return
+        if self._created and os.getpid() == self._owner_pid:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.destroy()
+        except Exception:
+            pass

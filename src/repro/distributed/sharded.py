@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..graphblas import Matrix, Vector, coords
 from ..graphblas import _kernels as K
 from ..graphblas.binaryop import BinaryOp, binary
-from ..graphblas.errors import DimensionMismatch, InvalidValue
+from ..graphblas.errors import DimensionMismatch, InvalidIndex, InvalidValue
 from ..graphblas.types import DataType, lookup_dtype
 from ..workloads.powerlaw import _splitmix64
 from ..workloads.stream import normalize_batch
@@ -99,20 +99,36 @@ class ShardRouter:
 
     def shard_of(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Shard index of each coordinate pair (vectorised, int64)."""
-        if self.nshards == 1:
-            return np.zeros(rows.size, dtype=np.int64)
-        if self.spec is not None:
+        return self.route(rows, cols)[0]
+
+    def route(
+        self, rows: np.ndarray, cols: np.ndarray, *, with_keys: bool = False
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Shard index of each pair, plus the packed keys when available.
+
+        Returns ``(shard, keys)`` where ``keys`` is the packed ``uint64``
+        coordinate key array under :attr:`spec` — the exact wire format of
+        the shm transport, so callers that already routed a batch can ship
+        it without packing a second time.  ``keys`` is ``None`` when the
+        shape has no 64-bit split, or when it was neither requested
+        (``with_keys``) nor needed for routing (single shard).
+        """
+        keys = None
+        if self.spec is not None and (with_keys or self.nshards > 1):
             keys = coords.pack(rows, cols, self.spec)
-        else:
-            keys = None
+        if self.nshards == 1:
+            return np.zeros(rows.size, dtype=np.int64), keys
         if self.partition == "hash":
             if keys is None:
                 with np.errstate(over="ignore"):
-                    keys = rows + _splitmix64(cols)
-            return (_splitmix64(keys) % np.uint64(self.nshards)).astype(np.int64)
+                    hashed = rows + _splitmix64(cols)
+            else:
+                hashed = keys
+            shard = (_splitmix64(hashed) % np.uint64(self.nshards)).astype(np.int64)
+            return shard, keys
         slab_key = keys if keys is not None else rows
         shard = (slab_key // np.uint64(self._chunk)).astype(np.int64)
-        return np.minimum(shard, self.nshards - 1)
+        return np.minimum(shard, self.nshards - 1), keys
 
 
 class ShardedIncrementalReductions:
@@ -255,6 +271,17 @@ class ShardedHierarchicalMatrix:
         Back shards with long-lived worker processes (streaming parallelism)
         instead of in-process shard states (zero IPC; the default, right for
         tests and single-core machines).
+    transport:
+        Wire between the router and process-backed shard workers:
+        ``"queue"`` (default; pickled FIFO queues) or ``"shm"``
+        (shared-memory ring buffers carrying ingest batches as packed
+        ``uint64`` keys + raw value bits — zero pickling on the hot path).
+        ``shm`` falls back to ``queue`` for configurations the ring cannot
+        carry bit-exactly (full 64-bit IPv6 shapes); read :attr:`transport`
+        for the wire in force.  Ignored when ``use_processes=False``.
+    ring_slots:
+        Per-shard ring capacity for the ``shm`` transport (default
+        :data:`~repro.distributed.ringbuf.DEFAULT_RING_SLOTS`).
     defer_ingest / track_stats / track_reductions:
         Forwarded to every shard's :class:`~repro.core.HierarchicalMatrix`;
         ``track_reductions`` (default True) maintains each shard's incremental
@@ -283,6 +310,8 @@ class ShardedHierarchicalMatrix:
         accum: Union[BinaryOp, str, None] = None,
         partition: str = "hash",
         use_processes: bool = False,
+        transport: str = "queue",
+        ring_slots: Optional[int] = None,
         defer_ingest: bool = True,
         track_stats: bool = True,
         track_reductions: bool = True,
@@ -309,7 +338,11 @@ class ShardedHierarchicalMatrix:
         if accum_name is not None:
             matrix_kwargs["accum"] = accum_name
         self._pool = ShardWorkerPool(
-            nshards, matrix_kwargs=matrix_kwargs, use_processes=use_processes
+            nshards,
+            matrix_kwargs=matrix_kwargs,
+            use_processes=use_processes,
+            transport=transport,
+            ring_slots=ring_slots,
         )
         self._incremental = ShardedIncrementalReductions(self)
         self._total_updates = 0
@@ -349,6 +382,16 @@ class ShardedHierarchicalMatrix:
     def partition(self) -> str:
         """Partitioning strategy in force (``"hash"`` or ``"range"``)."""
         return self._router.partition
+
+    @property
+    def transport(self) -> str:
+        """Worker wire in force: ``"inproc"``, ``"queue"``, or ``"shm"``.
+
+        ``"inproc"`` when ``use_processes=False``; otherwise the transport
+        actually running — which is ``"queue"`` even under ``transport="shm"``
+        when the configuration is not 64-bit-packable (the IPv6 fallback).
+        """
+        return self._pool.transport_name
 
     @property
     def router(self) -> ShardRouter:
@@ -398,8 +441,11 @@ class ShardedHierarchicalMatrix:
 
         ``values`` may be an array (one per coordinate) or a scalar broadcast
         over the batch; scalar row/col coordinates are accepted like
-        :meth:`HierarchicalMatrix.update`.  Shard-local update time is
-        accumulated worker-side; see :meth:`finalize` / :meth:`reports`.
+        :meth:`HierarchicalMatrix.update`.  Out-of-range coordinates raise
+        immediately (they have no owning shard).  Shard-local update time is
+        accumulated worker-side; see :meth:`finalize` / :meth:`reports`.  On
+        the shm transport the router's packed keys are handed straight to
+        the wire, so each batch is packed exactly once.
         """
         r = K.as_index_array(rows, "rows")
         c = K.as_index_array(cols, "cols")
@@ -409,6 +455,10 @@ class ShardedHierarchicalMatrix:
             )
         if r.size == 0:
             return self
+        if int(r.max()) >= self.nrows or int(c.max()) >= self.ncols:
+            raise InvalidIndex(
+                f"coordinate batch exceeds the {self.nrows}x{self.ncols} shape"
+            )
         scalar = np.isscalar(values) or (
             isinstance(values, np.ndarray) and values.ndim == 0
         )
@@ -417,13 +467,20 @@ class ShardedHierarchicalMatrix:
             raise DimensionMismatch(
                 f"values length {v.size} does not match index length {r.size}"
             )
-        shard = self._router.shard_of(r, c)
+        with_keys = self._pool.transport_name == "shm"
+        shard, keys = self._router.route(r, c, with_keys=with_keys)
         for s in range(self.nshards):
             mask = shard == s
             if not mask.any():
                 continue
             sub_values = values if v is None else v[mask]
-            self._pool.submit(s, "ingest", (r[mask], c[mask], sub_values))
+            self._pool.submit_ingest(
+                s,
+                r[mask],
+                c[mask],
+                sub_values,
+                keys=keys[mask] if (with_keys and keys is not None) else None,
+            )
         self._total_updates += int(r.size)
         self._batches += 1
         return self

@@ -1,0 +1,513 @@
+"""Pluggable worker transports for the shard pool.
+
+:class:`~repro.distributed.pool.ShardWorkerPool` speaks one command protocol
+(:mod:`repro.distributed.worker`) over an exchangeable wire.  A transport owns
+the worker processes and moves three kinds of traffic:
+
+* **ingest batches** — fire-and-forget, the streaming hot path;
+* **control commands** — ``finalize`` / ``stats`` / ``materialize`` / ``get``
+  / ``reduce`` / ``reduce_incremental`` / ``selfgen`` / ``report`` /
+  ``clear`` / ``stop``;
+* **replies** — one per reply-bearing control command, FIFO per worker.
+
+Two implementations:
+
+``queue`` (:class:`QueueTransport`, the default)
+    The PR-2 wire: everything crosses on per-worker ``multiprocessing``
+    FIFO queues, so each ingest batch pays one pickle and one unpickle.
+    Works for every shape and dtype.
+
+``shm`` (:class:`ShmRingTransport`)
+    One :class:`~repro.distributed.ringbuf.ShmRing` per worker carries
+    ingest batches as packed ``uint64`` coordinate keys (the PR-1 codec —
+    exactly the routing keys, which the router hands over pre-packed so the
+    hot path never packs twice) plus raw 64-bit value patterns: zero
+    pickling on the hot path.  Control commands travel on a small queue
+    side-channel, and FIFO ordering against in-flight batches comes from the
+    ring itself: every control first publishes an empty *barrier frame*
+    in-band, and the worker executes the command only when it consumes that
+    frame — so a reply-bearing command is a barrier for every batch
+    submitted before it and *only* those, exactly like the queue transport.
+    Requires a 64-bit-packable shape, a <= 8-byte value type, and a
+    total-store-order host ISA (x86-64 — the ring's lock-free handoff is
+    not fenced for weakly-ordered CPUs; set ``REPRO_SHM_TRANSPORT=force``
+    to override on hardware you have validated); :func:`make_transport`
+    falls back to ``queue`` otherwise (e.g. the IPv6 case).
+
+Both transports surface worker failures the same way: a worker-side exception
+is delivered as an ``("error", traceback)`` reply, and a worker that *dies*
+(killed, OOM, segfault) is detected by liveness polling — the parent gets
+:class:`~repro.distributed.worker.WorkerCrash` at the next reply (or, for the
+ring, at the next push into a full buffer) instead of hanging.  Fault
+injection tests in ``tests/distributed/test_faults.py`` pin this down for
+every transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import platform
+import queue as queue_mod
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphblas import coords
+from ..graphblas import _kernels as K
+from ..graphblas.types import lookup_dtype
+from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, ShmRing
+from .worker import CommandExecutor, WorkerCrash
+
+__all__ = [
+    "ShardTransport",
+    "QueueTransport",
+    "ShmRingTransport",
+    "ValueCodec",
+    "make_transport",
+    "shm_supported",
+    "TRANSPORT_NAMES",
+]
+
+#: Transport names accepted by :func:`make_transport` and the CLI.
+TRANSPORT_NAMES = ("queue", "shm")
+
+#: How often a blocked reply wait re-checks that the worker is still alive.
+_REPLY_POLL_SECONDS = 0.05
+
+#: Idle poll interval of the shm worker loop (ring empty, control queue empty).
+_WORKER_POLL_SECONDS = 0.001
+
+#: Ring frame flags: a data frame of (key, value-bits) pairs, or an empty
+#: control barrier marking where a queued command sits in the ingest order.
+_DATA_FRAME = 0
+_BARRIER_FRAME = 1
+
+#: Payload of a barrier frame.
+_NO_KEYS = np.empty(0, dtype=np.uint64)
+
+#: ISAs whose total-store-order semantics make the ring's unfenced
+#: publish/consume handoff sound.  Weakly-ordered hosts (AArch64 ...) fall
+#: back to the queue wire unless REPRO_SHM_TRANSPORT=force.
+_TSO_MACHINES = frozenset({"x86_64", "amd64", "i686", "i386"})
+
+
+def _ring_memory_model_ok() -> bool:
+    if os.environ.get("REPRO_SHM_TRANSPORT", "").lower() in {"force", "1"}:
+        return True
+    return platform.machine().lower() in _TSO_MACHINES
+
+
+class ValueCodec:
+    """Bit-exact ``values <-> uint64`` wire codec for one shard value type.
+
+    The parent converts values to the shard's dtype — the same (single)
+    conversion :meth:`HierarchicalMatrix.update
+    <repro.core.HierarchicalMatrix.update>` would apply worker-side on the
+    queue wire — then transmits *raw bit patterns*: 8-byte types cross as
+    their own bits, narrower types as zero-padded raw bytes.  No numeric
+    widening happens after the dtype conversion, so even exotic payloads
+    (signalling NaNs, negative zeros) cross unchanged and both wires remain
+    bit-identical.  Types wider than 8 bytes are not representable on the
+    ring (the transport factory falls back to the queue wire for those).
+    Producer and consumer share one machine, so native byte order is
+    consistent by construction.
+    """
+
+    def __init__(self, np_type) -> None:
+        self.np_type = np.dtype(np_type)
+        self.itemsize = int(self.np_type.itemsize)
+        if self.itemsize > 8:
+            raise ValueError(
+                f"value type {self.np_type} does not fit the 8-byte ring slot"
+            )
+
+    def encode(self, values, n: int) -> np.ndarray:
+        """Bit pattern of ``values`` (scalar broadcast over ``n``) as uint64."""
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            typed = np.full(n, values, dtype=self.np_type)
+        else:
+            typed = np.ascontiguousarray(np.asarray(values), dtype=self.np_type)
+        if self.itemsize == 8:
+            return typed.view(np.uint64)
+        out = np.zeros(typed.size, dtype=np.uint64)
+        out.view(np.uint8).reshape(-1, 8)[:, : self.itemsize] = typed.view(
+            np.uint8
+        ).reshape(-1, self.itemsize)
+        return out
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Invert :meth:`encode` back to a typed value array."""
+        if self.itemsize == 8:
+            return bits.view(self.np_type)
+        raw = np.ascontiguousarray(
+            bits.view(np.uint8).reshape(-1, 8)[:, : self.itemsize]
+        )
+        return raw.view(self.np_type).reshape(-1)
+
+
+def shm_supported(matrix_kwargs: Optional[Dict[str, Any]]) -> bool:
+    """Whether the shm wire can carry this shard configuration bit-exactly.
+
+    Needs the logical shape to pack into one 64-bit key
+    (:func:`repro.graphblas.coords.shape_split`, shared with the shard
+    router), a value type of at most 8 bytes, and a total-store-order host
+    ISA (see the module docstring; ``REPRO_SHM_TRANSPORT=force`` overrides).
+    """
+    if not _ring_memory_model_ok():
+        return False
+    kwargs = dict(matrix_kwargs or {})
+    nrows = int(kwargs.get("nrows", 2 ** 32))
+    ncols = int(kwargs.get("ncols", 2 ** 32))
+    if coords.shape_split(nrows, ncols) is None:
+        return False
+    return lookup_dtype(kwargs.get("dtype", "fp64")).np_type.itemsize <= 8
+
+
+def make_transport(
+    name: str,
+    nworkers: int,
+    matrix_kwargs: Optional[Dict[str, Any]] = None,
+    *,
+    ring_slots: Optional[int] = None,
+) -> "ShardTransport":
+    """Build the requested transport, falling back to ``queue`` when needed.
+
+    ``shm`` silently degrades to ``queue`` for configurations the ring cannot
+    carry bit-exactly (full 64-bit IPv6 shapes, > 8-byte value types) — the
+    documented fallback, mirroring how the packed kernels fall back to
+    lexsort.  Check the returned transport's ``.name`` to see what is in
+    force.
+    """
+    if name not in TRANSPORT_NAMES:
+        raise ValueError(
+            f"unknown transport {name!r}; expected one of {TRANSPORT_NAMES}"
+        )
+    if name == "shm" and shm_supported(matrix_kwargs):
+        return ShmRingTransport(nworkers, matrix_kwargs, ring_slots=ring_slots)
+    return QueueTransport(nworkers, matrix_kwargs)
+
+
+def _mp_context():
+    return mp.get_context("fork") if hasattr(os, "fork") else mp.get_context("spawn")
+
+
+class ShardTransport:
+    """Common machinery: worker processes, reply channels, liveness polling.
+
+    Subclasses provide the worker main loop (:meth:`_spawn_args`) and the
+    ingest wire (:meth:`send_ingest`); control commands and replies share the
+    queue implementation here.
+    """
+
+    #: Wire name ("queue" or "shm"); set by subclasses.
+    name: str = ""
+
+    def __init__(self, nworkers: int, matrix_kwargs: Optional[Dict[str, Any]]):
+        self.nworkers = int(nworkers)
+        self._matrix_kwargs = dict(matrix_kwargs or {})
+        self._ctx = _mp_context()
+        self._tasks = [self._ctx.Queue() for _ in range(self.nworkers)]
+        self._replies = [self._ctx.Queue() for _ in range(self.nworkers)]
+        self._procs: List[mp.Process] = []
+        self._closed = False
+
+    def _start(self) -> None:
+        self._procs = [
+            self._ctx.Process(target=self._worker_main, args=self._spawn_args(w), daemon=True)
+            for w in range(self.nworkers)
+        ]
+        for p in self._procs:
+            p.start()
+
+    # Subclass hooks ----------------------------------------------------- #
+
+    _worker_main = None  # staticmethod set by subclasses
+
+    def _spawn_args(self, worker: int) -> tuple:
+        raise NotImplementedError
+
+    def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
+        """Dispatch one ``(rows, cols, values)`` batch; fire-and-forget.
+
+        ``keys`` optionally carries the router's already-packed ``uint64``
+        coordinate keys for these rows/cols (always
+        ``coords.pack(rows, cols, shape_split(nrows, ncols))``); the shm
+        wire sends them as-is instead of packing a second time.
+        """
+        raise NotImplementedError
+
+    # Shared control/reply path ------------------------------------------ #
+
+    def send_control(self, worker: int, cmd: str, payload=None) -> None:
+        """Dispatch one non-ingest command; replies come via :meth:`recv_reply`."""
+        self._tasks[worker].put((cmd, payload))
+
+    def recv_reply(self, worker: int) -> Tuple[str, Any]:
+        """Block for the next ``(status, value)`` reply from ``worker``.
+
+        Polls the worker's liveness while waiting, so a dead worker produces
+        an ``("error", ...)`` reply instead of a hang.
+        """
+        q = self._replies[worker]
+        proc = self._procs[worker]
+        while True:
+            try:
+                return q.get(timeout=_REPLY_POLL_SECONDS)
+            except queue_mod.Empty:
+                if not proc.is_alive():
+                    # Drain once more: the worker may have replied and died.
+                    try:
+                        return q.get(timeout=_REPLY_POLL_SECONDS)
+                    except queue_mod.Empty:
+                        return (
+                            "error",
+                            f"worker process died (exit code {proc.exitcode}) "
+                            "without replying",
+                        )
+
+    def worker_alive(self, worker: int) -> bool:
+        """Whether the worker process is still running."""
+        return self._procs[worker].is_alive()
+
+    @property
+    def processes(self) -> List[mp.Process]:
+        """The worker processes (fault-injection tests kill these)."""
+        return list(self._procs)
+
+    # Lifecycle ---------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Stop every worker and release the wire; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in range(self.nworkers):
+            try:
+                self.send_control(w, "stop")
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
+        for p in self._procs:
+            p.join(timeout=5)
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+        for q in (*self._tasks, *self._replies):
+            q.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# queue transport (the PR-2 wire)
+# --------------------------------------------------------------------------- #
+
+
+def _queue_worker_main(worker_id, matrix_kwargs, task_queue, reply_queue) -> None:
+    """Child-process loop: pop commands, run them, push replies, never crash.
+
+    Errors are latched by the :class:`~repro.distributed.worker.CommandExecutor`
+    and delivered at the next reply-bearing command so the parent raises
+    :class:`WorkerCrash` instead of hanging on an empty queue.
+    """
+    executor = CommandExecutor(worker_id, matrix_kwargs, reply_queue)
+    while True:
+        cmd, payload = task_queue.get()
+        if cmd == "stop":
+            break
+        executor.execute(cmd, payload)
+
+
+class QueueTransport(ShardTransport):
+    """Everything — batches included — over pickled per-worker FIFO queues."""
+
+    name = "queue"
+    _worker_main = staticmethod(_queue_worker_main)
+
+    def __init__(self, nworkers: int, matrix_kwargs: Optional[Dict[str, Any]] = None):
+        super().__init__(nworkers, matrix_kwargs)
+        self._start()
+
+    def _spawn_args(self, worker: int) -> tuple:
+        return (worker, self._matrix_kwargs, self._tasks[worker], self._replies[worker])
+
+    def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
+        self._tasks[worker].put(("ingest", (rows, cols, values)))
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory ring transport
+# --------------------------------------------------------------------------- #
+
+
+def _shm_worker_main(
+    worker_id, matrix_kwargs, ring_name, task_queue, reply_queue
+) -> None:
+    """Shm worker loop: the ring totally orders ingest against control.
+
+    Ingest arrives exclusively on the ring as data frames.  Every control
+    command is preceded, in-band, by an empty barrier frame the parent pushed
+    *before* enqueuing the command, so executing commands exactly when their
+    barrier frame is consumed reproduces the queue transport's strict
+    per-worker FIFO — batches submitted before a command are applied before
+    it, batches submitted after it are not.  (The control queue alone could
+    not provide this: its feeder thread delivers asynchronously, so a command
+    could overtake or trail in-flight ring frames.)
+    """
+    executor = CommandExecutor(worker_id, matrix_kwargs, reply_queue)
+    kwargs = dict(matrix_kwargs or {})
+    spec = coords.shape_split(
+        int(kwargs.get("nrows", 2 ** 32)), int(kwargs.get("ncols", 2 ** 32))
+    )
+    codec = ValueCodec(lookup_dtype(kwargs.get("dtype", "fp64")).np_type)
+    ring = ShmRing.attach(ring_name)
+
+    def apply_data(frame) -> None:
+        keys, bits, _ = frame
+        executor.ingest(
+            lambda: (*coords.unpack(keys, spec), codec.decode(bits))
+        )
+
+    try:
+        while True:
+            frame = ring.pop()
+            if frame is not None:
+                if frame[2] == _BARRIER_FRAME:
+                    # The matching command was enqueued right after this
+                    # barrier was pushed; block until the feeder delivers it.
+                    cmd, payload = task_queue.get()
+                    if cmd == "stop":
+                        break
+                    executor.execute(cmd, payload)
+                else:
+                    apply_data(frame)
+                continue
+            try:
+                cmd, payload = task_queue.get(timeout=_WORKER_POLL_SECONDS)
+            except queue_mod.Empty:
+                continue
+            if cmd == "stop":
+                break
+            # The command overtook its barrier (we idled between the barrier
+            # being pushed and the queue delivering): apply every data frame
+            # up to that barrier first, preserving submission order.
+            while True:
+                frame = ring.pop()
+                if frame is None:
+                    time.sleep(_WORKER_POLL_SECONDS)
+                    continue
+                if frame[2] == _BARRIER_FRAME:
+                    break
+                apply_data(frame)
+            executor.execute(cmd, payload)
+    finally:
+        ring.close()
+
+
+class ShmRingTransport(ShardTransport):
+    """Ingest over per-worker shared-memory rings; control over a side queue.
+
+    The parent sends each routed batch as ``uint64`` coordinate keys under
+    the shape's :func:`~repro.graphblas.coords.shape_split` (toggle
+    independent — exactly the router's keys, which
+    :meth:`ShardedHierarchicalMatrix.update` hands over pre-packed) and raw
+    value bits, copied into the worker's ring: the batch crosses the process
+    boundary without touching pickle.  Backpressure is the ring's
+    sequence-number handshake: a full ring blocks the producer until the
+    worker catches up, and a dead worker raises :class:`WorkerCrash` out of
+    the blocked push.  Control commands publish an in-band barrier frame
+    before enqueuing, which is what serialises them against in-flight
+    batches (see :func:`_shm_worker_main`).
+    """
+
+    name = "shm"
+    _worker_main = staticmethod(_shm_worker_main)
+
+    def __init__(
+        self,
+        nworkers: int,
+        matrix_kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        ring_slots: Optional[int] = None,
+    ):
+        super().__init__(nworkers, matrix_kwargs)
+        nrows = int(self._matrix_kwargs.get("nrows", 2 ** 32))
+        ncols = int(self._matrix_kwargs.get("ncols", 2 ** 32))
+        self._spec = coords.shape_split(nrows, ncols)
+        if self._spec is None:
+            raise ValueError(
+                f"shape {nrows}x{ncols} does not pack into a 64-bit key; "
+                "use the queue transport"
+            )
+        self._nrows = nrows
+        self._ncols = ncols
+        self._codec = ValueCodec(
+            lookup_dtype(self._matrix_kwargs.get("dtype", "fp64")).np_type
+        )
+        slots = int(ring_slots) if ring_slots is not None else DEFAULT_RING_SLOTS
+        self._rings = [ShmRing(slots) for _ in range(self.nworkers)]
+        self._start()
+
+    def _spawn_args(self, worker: int) -> tuple:
+        return (
+            worker,
+            self._matrix_kwargs,
+            self._rings[worker].name,
+            self._tasks[worker],
+            self._replies[worker],
+        )
+
+    @property
+    def rings(self) -> List[ShmRing]:
+        """Per-worker rings (parent-side handles; exposed for tests)."""
+        return list(self._rings)
+
+    def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
+        if keys is None:
+            r = K.as_index_array(rows, "rows")
+            c = K.as_index_array(cols, "cols")
+            if r.size == 0:
+                return
+            # Refuse coordinates packing would silently alias onto a wrong
+            # (row, col); routed batches were already validated upstream.
+            if int(r.max()) >= self._nrows or int(c.max()) >= self._ncols:
+                from ..graphblas.errors import InvalidIndex
+
+                raise InvalidIndex(
+                    f"coordinate batch exceeds the {self._nrows}x{self._ncols} shape"
+                )
+            keys = coords.pack(r, c, self._spec)
+        else:
+            keys = np.ascontiguousarray(keys, dtype=np.uint64)
+            if keys.size == 0:
+                return
+        bits = self._codec.encode(values, keys.size)
+        self._push(worker, keys, bits, _DATA_FRAME)
+
+    def send_control(self, worker: int, cmd: str, payload=None) -> None:
+        if cmd != "stop":
+            # In-band ordering: the barrier frame lands in the ring before
+            # the command enters the (asynchronously delivered) queue.
+            self._push(worker, _NO_KEYS, _NO_KEYS, _BARRIER_FRAME)
+        self._tasks[worker].put((cmd, payload))
+
+    def _push(self, worker: int, keys, bits, flags: int) -> None:
+        proc = self._procs[worker]
+        try:
+            self._rings[worker].push(keys, bits, flags=flags, still_alive=proc.is_alive)
+        except RingClosed as exc:
+            raise WorkerCrash(
+                f"shard worker {worker} is gone (exit code {proc.exitcode}); "
+                f"ring push failed: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()
+        for ring in self._rings:
+            ring.destroy()

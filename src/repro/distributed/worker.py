@@ -1,0 +1,294 @@
+"""Shard-worker state and command protocol, shared by every transport.
+
+A shard worker owns a private :class:`~repro.core.HierarchicalMatrix` and
+executes a small command protocol (see :mod:`repro.distributed.pool` for the
+command reference).  This module holds everything that runs *identically*
+regardless of how commands reach the worker — in-process calls, pickled FIFO
+queues, or the shared-memory ring transport — so the transports in
+:mod:`repro.distributed.transport` stay pure plumbing and the conformance
+suite (``tests/distributed/test_transport.py``) can assert that plumbing
+never changes results.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import HierarchicalMatrix
+from ..graphblas.binaryop import binary
+from ..workloads.powerlaw import powerlaw_edges
+
+__all__ = [
+    "WorkerReport",
+    "WorkerCrash",
+    "ShardState",
+    "CommandExecutor",
+    "stream_powerlaw",
+    "REPLY_COMMANDS",
+    "KNOWN_COMMANDS",
+    "INCREMENTAL_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Result of one worker's measured ingest.
+
+    Attributes
+    ----------
+    worker_id:
+        0-based worker index.
+    total_updates:
+        Element updates streamed by this worker.
+    elapsed_seconds:
+        Wall-clock time spent inside ``update`` calls plus the forced final
+        flush of deferred pending tuples.
+    updates_per_second:
+        This worker's measured rate.
+    final_nvals:
+        Stored entries in the worker's materialised matrix (sanity check).
+    cascades:
+        Per-layer cascade counts.
+    """
+
+    worker_id: int
+    total_updates: int
+    elapsed_seconds: float
+    updates_per_second: float
+    final_nvals: int
+    cascades: List[int] = field(default_factory=list)
+
+
+class WorkerCrash(RuntimeError):
+    """A shard worker raised (or died) while executing a command."""
+
+
+def stream_powerlaw(
+    matrix: HierarchicalMatrix,
+    worker_id: int,
+    total_updates: int,
+    batch_size: int,
+    *,
+    nnodes: int = 2 ** 32,
+    alpha: float = 1.3,
+    distinct_nodes: int = 2 ** 22,
+    seed: Optional[int] = None,
+) -> Tuple[int, float]:
+    """Generate and stream exactly ``total_updates`` power-law edges.
+
+    Returns ``(updates_streamed, timed_seconds)``.  Measured the way the paper
+    measures: generation time is excluded (data resides in arrays before the
+    timed insert), every ``update`` call is timed, the last batch is a partial
+    batch when ``batch_size`` does not divide ``total_updates``, and the
+    deferred layer-1 flush is forced *inside* the timed section so the
+    reported rate pays for the sort/merge work the stream deferred.
+    """
+    rng_seed = (seed if seed is not None else 0) + worker_id * 1_000_003
+    total = max(int(total_updates), 0)
+    batch_size = max(int(batch_size), 1)
+    elapsed = 0.0
+    done = 0
+    b = 0
+    while done < total:
+        n = min(batch_size, total - done)
+        rows, cols = powerlaw_edges(
+            n,
+            alpha=alpha,
+            nnodes=nnodes,
+            distinct_nodes=distinct_nodes,
+            seed=rng_seed + b,
+        )
+        values = np.ones(n, dtype=np.float64)
+        start = time.perf_counter()
+        matrix.update(rows, cols, values)
+        elapsed += time.perf_counter() - start
+        done += n
+        b += 1
+    start = time.perf_counter()
+    matrix.wait()  # the deferred flush is ingest work, not query work
+    elapsed += time.perf_counter() - start
+    return done, elapsed
+
+
+#: Commands that produce exactly one reply on the worker's reply channel.
+REPLY_COMMANDS = frozenset(
+    {
+        "selfgen",
+        "finalize",
+        "report",
+        "materialize",
+        "get",
+        "reduce",
+        "stats",
+        "reduce_incremental",
+        "clear",
+    }
+)
+
+#: Incremental reduction vectors servable by the ``reduce_incremental`` command.
+INCREMENTAL_KINDS = frozenset({"row_traffic", "col_traffic", "row_fan", "col_fan"})
+
+#: Every command a worker understands.  The pool validates against this
+#: parent-side: an unknown *fire-and-forget* command would otherwise be
+#: swallowed worker-side and only surface at some later reply.
+KNOWN_COMMANDS = REPLY_COMMANDS | {"ingest", "stop"}
+
+
+class ShardState:
+    """One worker's state: a private hierarchical matrix plus ingest counters.
+
+    Runs identically inside a long-lived child process (whatever the
+    transport) and in-process (``use_processes=False``), so unit tests and
+    single-core machines exercise the same command protocol without fork
+    overhead.
+    """
+
+    def __init__(self, worker_id: int, matrix_kwargs: Optional[Dict[str, Any]] = None):
+        kwargs = dict(matrix_kwargs or {})
+        nrows = kwargs.pop("nrows", 2 ** 32)
+        ncols = kwargs.pop("ncols", 2 ** 32)
+        dtype = kwargs.pop("dtype", "fp64")
+        accum = kwargs.pop("accum", None)
+        if isinstance(accum, str):
+            # Operators cross the process boundary by registry name.
+            accum = binary[accum]
+        self.worker_id = int(worker_id)
+        self.matrix = HierarchicalMatrix(nrows, ncols, dtype, accum=accum, **kwargs)
+        self.done = 0
+        self.elapsed = 0.0
+
+    # -- command handlers ------------------------------------------------ #
+
+    def handle(self, cmd: str, payload) -> Any:
+        if cmd == "ingest":
+            rows, cols, values = payload
+            n = rows.size
+            start = time.perf_counter()
+            self.matrix.update(rows, cols, values)
+            self.elapsed += time.perf_counter() - start
+            self.done += int(n)
+            return None
+        if cmd == "selfgen":
+            spec = dict(payload)
+            done, elapsed = stream_powerlaw(
+                self.matrix,
+                self.worker_id,
+                spec.pop("total_updates"),
+                spec.pop("batch_size"),
+                **spec,
+            )
+            self.done += done
+            self.elapsed += elapsed
+            return self.report()
+        if cmd == "finalize":
+            start = time.perf_counter()
+            self.matrix.wait()
+            self.elapsed += time.perf_counter() - start
+            return {"total_updates": self.done, "elapsed_seconds": self.elapsed}
+        if cmd == "report":
+            return self.report()
+        if cmd == "materialize":
+            return self.matrix.materialize().extract_tuples()
+        if cmd == "get":
+            row, col = payload
+            return self.matrix.get(row, col, None)
+        if cmd == "reduce":
+            axis, op_name = payload
+            flat = self.matrix.materialize()
+            vec = (
+                flat.reduce_rowwise(op_name)
+                if axis == "row"
+                else flat.reduce_columnwise(op_name)
+            )
+            return vec.to_coo()
+        if cmd == "stats":
+            inc = self.matrix.incremental
+            return {
+                "supported": inc.supported,
+                "fan_supported": inc.fan_supported,
+                "total": float(inc.total()) if inc.supported else None,
+                "nnz": inc.nnz() if inc.fan_supported else None,
+                "updates": self.done,
+            }
+        if cmd == "reduce_incremental":
+            kind = payload
+            if kind not in INCREMENTAL_KINDS:
+                raise ValueError(f"unknown incremental reduction {kind!r}")
+            inc = self.matrix.incremental
+            if not inc.supported or (kind.endswith("fan") and not inc.fan_supported):
+                return None
+            return getattr(inc, kind)().to_coo()
+        if cmd == "clear":
+            self.matrix.clear()
+            self.done = 0
+            self.elapsed = 0.0
+            return True
+        raise ValueError(f"unknown worker command {cmd!r}")
+
+    def report(self) -> WorkerReport:
+        stats = self.matrix.stats
+        rate = self.done / self.elapsed if self.elapsed > 0 else 0.0
+        return WorkerReport(
+            worker_id=self.worker_id,
+            total_updates=self.done,
+            elapsed_seconds=self.elapsed,
+            updates_per_second=rate,
+            final_nvals=self.matrix.materialize().nvals,
+            cascades=list(stats.cascades) if stats is not None else [],
+        )
+
+
+class CommandExecutor:
+    """The error-latching reply protocol every transport's worker loop shares.
+
+    Wraps a :class:`ShardState` (constructed here, so even a failing
+    constructor is latched instead of crashing the loop) and owns the one
+    piece of semantics the wires must never let drift: a command exception is
+    captured as the *pending error*, fire-and-forget commands after it are
+    skipped, and the next reply-bearing command delivers ``("error",
+    traceback)`` — after which the worker resumes serving (unless
+    construction itself failed, in which case every reply repeats the
+    error).  Transports only decide *when* :meth:`execute` runs, never what
+    it does.
+    """
+
+    def __init__(self, worker_id: int, matrix_kwargs, reply_queue) -> None:
+        self._reply_queue = reply_queue
+        self.state: Optional[ShardState] = None
+        self._init_error: Optional[str] = None
+        try:
+            self.state = ShardState(worker_id, matrix_kwargs)
+        except Exception:  # pragma: no cover - construction is trivial to satisfy
+            self._init_error = traceback.format_exc()
+        self.pending_error = self._init_error
+
+    def ingest(self, decode_payload: Callable[[], tuple]) -> None:
+        """Apply one fire-and-forget batch; ``decode_payload`` materialises
+        the ``(rows, cols, values)`` tuple and may itself raise (wire decode
+        errors are latched exactly like command errors)."""
+        if self.pending_error is not None:
+            return
+        try:
+            self.state.handle("ingest", decode_payload())
+        except Exception:
+            self.pending_error = traceback.format_exc()
+
+    def execute(self, cmd: str, payload) -> None:
+        """Run one command; emit its reply when the protocol promises one."""
+        result = None
+        if self.pending_error is None:
+            try:
+                result = self.state.handle(cmd, payload)
+            except Exception:
+                self.pending_error = traceback.format_exc()
+        if cmd in REPLY_COMMANDS:
+            if self.pending_error is not None:
+                self._reply_queue.put(("error", self.pending_error))
+                self.pending_error = self._init_error
+            else:
+                self._reply_queue.put(("ok", result))

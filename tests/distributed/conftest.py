@@ -1,0 +1,65 @@
+"""Shared fixtures for the distributed suite: a hang-proofing deadline guard.
+
+The fault-injection contract (PR 4) is that a dead worker surfaces as
+:class:`~repro.distributed.WorkerCrash` *instead of a hang* — so a regression
+in that contract would, by definition, hang the test.  Every test in this
+directory therefore runs under a SIGALRM deadline: a deadlocked test fails
+with a :class:`TimeoutError` and a traceback pointing at the blocked wait,
+rather than stalling CI until the job-level timeout kills it with no
+diagnostics.  Fault tests additionally use :func:`deadline` with a tight
+bound around the specific wait under test.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+import pytest
+
+#: Generous per-test ceiling; any distributed test that takes this long is
+#: deadlocked, not slow.
+SUITE_DEADLINE_SECONDS = 120.0
+
+
+def _guard_available() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextlib.contextmanager
+def deadline(seconds: float):
+    """Raise :class:`TimeoutError` in the calling thread after ``seconds``.
+
+    SIGALRM-based (POSIX main thread only; a no-op elsewhere), so it fires
+    even while the test is blocked inside an uninterruptible-by-pytest wait
+    such as ``Queue.get()`` — which is exactly where a transport regression
+    would deadlock.  Nestable: the previous handler and timer are restored on
+    exit.
+    """
+    if not _guard_available():
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s deadline (deadlock guard)"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _timed_out)
+    previous_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, previous_delay)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    """Fail any distributed test that blocks past the suite-wide deadline."""
+    with deadline(SUITE_DEADLINE_SECONDS):
+        yield

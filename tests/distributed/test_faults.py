@@ -1,0 +1,196 @@
+"""Fault-injection tests: dead or crashing workers must surface, never hang.
+
+The contract (pinned per transport): a worker that *raises* delivers the
+traceback as :class:`~repro.distributed.WorkerCrash` at the next reply and
+keeps serving; a worker that *dies* (SIGKILL here — the OOM-killer case) is
+detected by liveness polling and surfaces as :class:`WorkerCrash` at the next
+reply, or at the next ring push once the dead shard's buffer fills.  Every
+wait under test runs inside a tight :func:`deadline` guard, so a regression
+fails with a ``TimeoutError`` pointing at the blocked call instead of
+deadlocking the suite (the directory-wide guard in ``conftest.py`` backstops
+everything else).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    RingClosed,
+    ShardedHierarchicalMatrix,
+    ShardWorkerPool,
+    WorkerCrash,
+    shm_supported,
+)
+
+from .conftest import deadline
+
+CUTS = [500, 5_000]
+TRANSPORTS = ["queue", "shm"]
+
+#: Tests that reach into the ring itself need the shm wire actually in force.
+requires_shm = pytest.mark.skipif(
+    not shm_supported(None), reason="shm transport unavailable on this host"
+)
+
+
+def make_pool(transport, nworkers=1):
+    return ShardWorkerPool(
+        nworkers,
+        matrix_kwargs={"cuts": CUTS},
+        use_processes=True,
+        transport=transport,
+    )
+
+
+def ingest_some(pool, worker=0, nbatches=3):
+    for b in range(nbatches):
+        rows = np.arange(b * 100, b * 100 + 100, dtype=np.uint64)
+        pool.submit(worker, "ingest", (rows, rows + 1, np.ones(100)))
+
+
+class TestKilledWorker:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kill_mid_stream_surfaces_at_next_reply(self, transport):
+        with make_pool(transport) as pool:
+            ingest_some(pool)
+            proc = pool.processes[0]
+            proc.kill()
+            proc.join(timeout=10)
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    pool.request(0, "report")
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kill_while_reply_pending_does_not_hang(self, transport):
+        """Die *after* the command is submitted, while the parent waits.
+
+        ``selfgen`` streams long enough that the SIGKILL always lands before
+        the reply is produced; a worker killed before even dequeuing the
+        command surfaces identically.
+        """
+        with make_pool(transport) as pool:
+            pool.submit(
+                0, "selfgen", {"total_updates": 500_000, "batch_size": 10_000, "seed": 1}
+            )
+            pool.processes[0].kill()
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    pool.collect(0)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_other_workers_keep_serving(self, transport):
+        with make_pool(transport, nworkers=2) as pool:
+            ingest_some(pool, worker=0)
+            ingest_some(pool, worker=1)
+            pool.processes[0].kill()
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    pool.request(0, "stats")
+                assert pool.request(1, "stats")["updates"] == 300
+
+    @requires_shm
+    def test_shm_push_into_dead_worker_raises(self):
+        """A full ring with a dead consumer must fail the push, not spin."""
+        pool = ShardWorkerPool(
+            1,
+            matrix_kwargs={"cuts": CUTS},
+            use_processes=True,
+            transport="shm",
+            ring_slots=64,
+        )
+        try:
+            proc = pool.processes[0]
+            proc.kill()
+            proc.join(timeout=10)
+            rows = np.arange(200, dtype=np.uint64)  # > ring capacity
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    # Keep pushing until the dead shard's ring fills.
+                    for _ in range(10):
+                        pool.submit(0, "ingest", (rows, rows, np.ones(rows.size)))
+        finally:
+            pool.close()
+
+    def test_sharded_matrix_surfaces_crash(self):
+        """End to end: a killed shard fails the next global read loudly."""
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="shm"
+        ) as sharded:
+            rng = np.random.default_rng(5)
+            sharded.update(
+                rng.integers(0, 2 ** 16, 500, dtype=np.uint64),
+                rng.integers(0, 2 ** 16, 500, dtype=np.uint64),
+                np.ones(500),
+            )
+            sharded._pool.processes[0].kill()
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    sharded.materialize()
+
+
+class TestRaisingWorker:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_error_delivered_and_worker_survives(self, transport):
+        with make_pool(transport) as pool:
+            with deadline(30):
+                with pytest.raises(WorkerCrash) as excinfo:
+                    pool.request(0, "reduce", ("bogus-axis", "not-an-op"))
+                assert "shard worker 0 failed" in str(excinfo.value)
+                # The worker survives the crash and keeps serving.
+                assert pool.request(0, "get", (1, 2)) is None
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_unknown_command_is_an_error_not_a_hang(self, transport):
+        """A typo'd command fails fast in the parent (it may never reply)."""
+        with make_pool(transport) as pool:
+            with deadline(30):
+                with pytest.raises(ValueError):
+                    pool.request(0, "materialise-with-an-s")
+                # The pool is not corrupted by the rejection.
+                assert pool.request(0, "stats")["updates"] == 0
+
+    def test_shm_worker_error_after_ingest_then_recovers(self):
+        """A worker-side error after consumed batches reports, then serves."""
+        with make_pool("shm") as pool:
+            rows = np.arange(10, dtype=np.uint64)
+            pool.submit(0, "ingest", (rows, rows, np.ones(10)))
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    pool.request(0, "reduce_incremental", "not-a-kind")
+                assert pool.request(0, "stats")["updates"] == 10
+
+    def test_shm_out_of_range_coordinates_raise_immediately(self):
+        """The ring refuses coordinates that would alias under packing."""
+        from repro.graphblas.errors import InvalidIndex
+
+        with ShardedHierarchicalMatrix(
+            2, 2 ** 16, 2 ** 16, cuts=CUTS, use_processes=True, transport="shm"
+        ) as sharded:
+            with pytest.raises(InvalidIndex):
+                sharded.update([2 ** 20], [1], [1.0])
+
+
+class TestRingLiveness:
+    @requires_shm
+    def test_ring_closed_error_names_the_worker(self):
+        with make_pool("shm") as pool:
+            transport = pool._transport
+            transport._rings[0].mark_closed()
+            with deadline(30):
+                with pytest.raises(WorkerCrash) as excinfo:
+                    rows = np.arange(10, dtype=np.uint64)
+                    pool.submit(0, "ingest", (rows, rows, np.ones(10)))
+            assert "worker 0" in str(excinfo.value)
+
+    def test_ring_closed_is_ring_specific(self):
+        from repro.distributed import ShmRing
+
+        ring = ShmRing(8)
+        try:
+            ring.mark_closed()
+            with pytest.raises(RingClosed):
+                ring.push(np.arange(4, dtype=np.uint64), np.arange(4, dtype=np.uint64))
+        finally:
+            ring.destroy()

@@ -1,0 +1,85 @@
+"""Soak test: long randomized op interleaving over the shm transport.
+
+Marked ``slow``: a single long scenario rather than a property battery.  A
+process-backed sharded matrix on the shared-memory wire absorbs a randomized
+interleaving of ``ingest`` / ``stats`` / ``materialize`` / ``reduce_incremental``
+/ ``finalize`` / point reads, and after *every* read the incrementally
+maintained tracker statistics must agree bit-for-bit with the materialize
+path and with a flat reference fed the same stream — i.e. the zero-pickle
+wire never drops, duplicates, reorders-across-a-barrier, or corrupts a batch
+no matter how reads and writes interleave with the ring's backpressure.
+
+Deselect with ``-m "not slow"`` when iterating locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalMatrix
+from repro.distributed import ShardedHierarchicalMatrix, shm_supported
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not shm_supported(None), reason="shm transport unavailable on this host"
+    ),
+]
+
+CUTS = [300, 3_000]
+NSHARDS = 3
+OPS = 120
+MAX_BATCH = 400
+
+
+@pytest.mark.parametrize("partition", ["hash", "range"])
+def test_soak_interleaved_ops_stay_bit_identical(partition):
+    rng = np.random.default_rng(2024)
+    flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+    total = 0
+    with ShardedHierarchicalMatrix(
+        NSHARDS,
+        cuts=CUTS,
+        partition=partition,
+        use_processes=True,
+        transport="shm",
+        ring_slots=1 << 10,  # small rings so the soak exercises backpressure
+    ) as sharded:
+        assert sharded.transport == "shm"
+        for step in range(OPS):
+            op = rng.choice(
+                ["ingest", "ingest", "ingest", "stats", "materialize", "reduce", "get"]
+            )
+            if op == "ingest":
+                n = int(rng.integers(1, MAX_BATCH))
+                rows = rng.integers(0, 2 ** 20, n, dtype=np.uint64)
+                cols = rng.integers(0, 2 ** 20, n, dtype=np.uint64)
+                vals = rng.integers(1, 10, n).astype(np.float64)
+                sharded.update(rows, cols, vals)
+                flat.update(rows, cols, vals)
+                total += n
+            elif op == "stats":
+                inc = sharded.incremental
+                assert inc.supported and inc.fan_supported
+                merged = sharded.materialize()
+                assert inc.nnz() == merged.nvals, f"step {step}"
+                assert inc.total() == float(merged.reduce_scalar("plus")), f"step {step}"
+            elif op == "materialize":
+                assert sharded.materialize().isequal(flat.materialize()), f"step {step}"
+            elif op == "reduce":
+                assert sharded.incremental.row_traffic().isequal(
+                    flat.materialize().reduce_rowwise("plus")
+                ), f"step {step}"
+                assert sharded.reduce_columnwise("plus").isequal(
+                    flat.materialize().reduce_columnwise("plus")
+                ), f"step {step}"
+            else:  # get
+                r = int(rng.integers(0, 2 ** 20))
+                c = int(rng.integers(0, 2 ** 20))
+                assert sharded.get(r, c, default=None) == flat.get(r, c, None)
+        # Final barrier and full agreement after the storm.
+        reports = sharded.finalize()
+        assert sum(s["total_updates"] for s in reports) == total
+        assert sharded.materialize().isequal(flat.materialize())
+        assert sharded.incremental.nnz() == flat.materialize().nvals

@@ -1,0 +1,376 @@
+"""Transport conformance suite: every wire must produce bit-identical results.
+
+One battery runs over all three worker modes — in-process states, the queue
+transport (pickled FIFO queues), and the shm transport (shared-memory ring
+buffers) — asserting that a :class:`~repro.distributed.ShardedHierarchicalMatrix`
+fed a stream ``materialize``s, ``get``s, and reduces bit-identically to a flat
+:class:`~repro.core.HierarchicalMatrix` fed the same stream.  Hypothesis
+drives shard counts, partitions, batch shapes, and both coordinate engines,
+so the guarantee that made the sharded engine shippable in PR 2 is now
+enforced *per transport* (PR 4) — a new wire cannot land without passing
+exactly this battery.
+
+CI runs the process-backed halves separately via ``-k queue`` / ``-k shm``
+(the transport matrix); the mode name is embedded in every test id.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import HierarchicalMatrix
+from repro.distributed import (
+    ShardedHierarchicalMatrix,
+    ShardWorkerPool,
+    ValueCodec,
+    make_transport,
+    shm_supported,
+)
+from repro.graphblas import coords
+
+CUTS = [500, 5_000]
+
+#: (mode id, ShardedHierarchicalMatrix kwargs).  The mode id is what the CI
+#: transport matrix selects with ``-k``.
+MODES = [
+    ("inproc", {"use_processes": False}),
+    ("queue", {"use_processes": True, "transport": "queue"}),
+    ("shm", {"use_processes": True, "transport": "shm"}),
+]
+MODE_IDS = [m[0] for m in MODES]
+MODE_KWARGS = dict(MODES)
+
+
+def mode_param():
+    return pytest.mark.parametrize("mode", MODE_IDS)
+
+
+@contextlib.contextmanager
+def engine_context(engine: str):
+    """Run under the packed or the lexsort coordinate engine.
+
+    Entered *before* pools are created: forked workers inherit the toggle, so
+    process-backed shards genuinely run the fallback engine too (shard
+    routing is toggle-independent by construction).
+    """
+    if engine == "lexsort":
+        with coords.packing_disabled():
+            yield
+    else:
+        yield
+
+
+def flat_reference(batches, nrows=2 ** 32, ncols=2 ** 32):
+    flat = HierarchicalMatrix(nrows, ncols, cuts=CUTS)
+    for rows, cols, vals in batches:
+        flat.update(rows, cols, vals)
+    return flat
+
+
+def run_battery(mode, batches, *, nshards, partition, nrows=2 ** 32, ncols=2 ** 32):
+    """Feed ``batches`` to flat + sharded and assert global bit-identity."""
+    flat = flat_reference(batches, nrows, ncols)
+    flat_matrix = flat.materialize()
+    with ShardedHierarchicalMatrix(
+        nshards,
+        nrows,
+        ncols,
+        cuts=CUTS,
+        partition=partition,
+        **MODE_KWARGS[mode],
+    ) as sharded:
+        for rows, cols, vals in batches:
+            sharded.update(rows, cols, vals)
+        # materialize: the full global result, merged across shards.
+        assert sharded.materialize().isequal(flat_matrix)
+        # get: point reads route to the owning shard.
+        seen = set()
+        for rows, cols, _ in batches[:2]:
+            for r, c in list(zip(rows.tolist(), cols.tolist()))[:10]:
+                if (r, c) in seen:
+                    continue
+                seen.add((r, c))
+                assert sharded.get(r, c) == flat.get(r, c)
+        assert sharded.get(nrows - 1, ncols - 1, default=-1.0) == flat.get(
+            nrows - 1, ncols - 1, -1.0
+        )
+        # reductions: monoid merges across shards.
+        assert sharded.reduce_rowwise("plus").isequal(flat_matrix.reduce_rowwise("plus"))
+        assert sharded.reduce_columnwise("plus").isequal(
+            flat_matrix.reduce_columnwise("plus")
+        )
+        # incremental reductions: the tracker path must agree with the
+        # materialize path (and therefore with the flat reference).
+        inc = sharded.incremental
+        if inc.supported and inc.fan_supported:
+            assert inc.nnz() == flat_matrix.nvals
+            assert inc.total() == pytest.approx(float(flat_matrix.reduce_scalar("plus")))
+            assert inc.row_traffic().isequal(flat_matrix.reduce_rowwise("plus"))
+
+
+def batches_strategy():
+    """Random small streams: duplicate-heavy coords, exactly-summable values."""
+
+    @st.composite
+    def _batches(draw):
+        nbatches = draw(st.integers(1, 5))
+        space = draw(st.sampled_from([64, 2 ** 10, 2 ** 18]))
+        seed = draw(st.integers(0, 2 ** 16))
+        rng = np.random.default_rng(seed)
+        out = []
+        for _ in range(nbatches):
+            n = draw(st.integers(1, 80))
+            rows = rng.integers(0, space, n, dtype=np.uint64)
+            cols = rng.integers(0, space, n, dtype=np.uint64)
+            vals = rng.integers(1, 8, n).astype(np.float64)
+            out.append((rows, cols, vals))
+        return out
+
+    return _batches()
+
+
+class TestConformanceBattery:
+    """The hypothesis-driven battery, one process-spawning config per example."""
+
+    @mode_param()
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(
+        batches=batches_strategy(),
+        nshards=st.integers(1, 4),
+        partition=st.sampled_from(["hash", "range"]),
+        engine=st.sampled_from(["packed", "lexsort"]),
+    )
+    def test_bit_identical_to_flat(self, mode, batches, nshards, partition, engine):
+        with engine_context(engine):
+            run_battery(mode, batches, nshards=nshards, partition=partition)
+
+
+class TestConformanceGrid:
+    """A deterministic pinned grid on top of the randomized battery."""
+
+    @mode_param()
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    @pytest.mark.parametrize("engine", ["packed", "lexsort"])
+    def test_fixed_stream_all_partitions_and_engines(self, mode, partition, engine):
+        rng = np.random.default_rng(1234)
+        batches = [
+            (
+                rng.integers(0, 2 ** 18, 400, dtype=np.uint64),
+                rng.integers(0, 2 ** 18, 400, dtype=np.uint64),
+                rng.integers(1, 8, 400).astype(np.float64),
+            )
+            for _ in range(5)
+        ]
+        with engine_context(engine):
+            run_battery(mode, batches, nshards=3, partition=partition)
+
+    @mode_param()
+    def test_single_shard_degenerate(self, mode):
+        rng = np.random.default_rng(7)
+        batches = [
+            (
+                rng.integers(0, 256, 50, dtype=np.uint64),
+                rng.integers(0, 256, 50, dtype=np.uint64),
+                rng.integers(1, 5, 50).astype(np.float64),
+            )
+        ]
+        run_battery(mode, batches, nshards=1, partition="hash")
+
+    @mode_param()
+    def test_scalar_broadcast_and_odd_batches(self, mode):
+        """Scalar values, 1-element batches, and duplicate coordinates."""
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, **MODE_KWARGS[mode]) as sharded:
+            sharded.update(5, 6)
+            sharded.update([5, 5, 9], [6, 6, 1], 2.0)
+            sharded.update(np.array([9]), np.array([1]), np.array([0.5]))
+            assert sharded.get(5, 6) == 5.0
+            assert sharded.get(9, 1) == 2.5
+            assert sharded.materialize().nvals == 2
+
+    @mode_param()
+    def test_ipv6_shape_served_via_fallback(self, mode):
+        """Full 64-bit shapes work in every mode (shm falls back to queue)."""
+        rng = np.random.default_rng(11)
+        batches = [
+            (
+                rng.integers(0, 2 ** 63, 60, dtype=np.uint64) * np.uint64(2),
+                rng.integers(0, 2 ** 63, 60, dtype=np.uint64) * np.uint64(2),
+                rng.integers(1, 5, 60).astype(np.float64),
+            )
+            for _ in range(2)
+        ]
+        run_battery(
+            mode, batches, nshards=2, partition="hash", nrows=2 ** 64, ncols=2 ** 64
+        )
+
+
+class TestTransportSelection:
+    def test_requested_transport_in_force(self):
+        # On weakly-ordered ISAs (shm_supported False) a shm request runs on
+        # the queue wire by design; the expectation follows the predicate.
+        expected_shm = "shm" if shm_supported(None) else "queue"
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, use_processes=False) as s:
+            assert s.transport == "inproc"
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="queue"
+        ) as s:
+            assert s.transport == "queue"
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="shm"
+        ) as s:
+            assert s.transport == expected_shm
+
+    def test_shm_falls_back_to_queue_for_ipv6(self):
+        with ShardedHierarchicalMatrix(
+            2, 2 ** 64, 2 ** 64, cuts=CUTS, use_processes=True, transport="shm"
+        ) as s:
+            assert s.transport == "queue"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ShardWorkerPool(1, use_processes=True, transport="carrier-pigeon")
+
+    def test_shm_supported_predicate(self):
+        assert shm_supported({"nrows": 2 ** 32, "ncols": 2 ** 32})
+        assert shm_supported(None)
+        assert not shm_supported({"nrows": 2 ** 64, "ncols": 2 ** 64})
+
+    def test_make_transport_fallback_object(self):
+        t = make_transport("shm", 1, {"nrows": 2 ** 64, "ncols": 2 ** 64})
+        try:
+            assert t.name == "queue"
+        finally:
+            t.close()
+
+
+class TestBarrierSemantics:
+    """A reply-bearing command is a barrier for every earlier ingest."""
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_reads_observe_all_prior_batches(self, transport):
+        with ShardWorkerPool(
+            1,
+            matrix_kwargs={"cuts": CUTS},
+            use_processes=True,
+            transport=transport,
+        ) as pool:
+            total = 0
+            for b in range(20):
+                rows = np.arange(b * 50, b * 50 + 50, dtype=np.uint64)
+                pool.submit(0, "ingest", (rows, rows, np.ones(50)))
+                total += 50
+            stats = pool.request(0, "stats")
+            assert stats["updates"] == total
+            assert pool.request(0, "finalize")["total_updates"] == total
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_clear_then_reingest(self, transport):
+        with ShardWorkerPool(
+            1,
+            matrix_kwargs={"cuts": CUTS},
+            use_processes=True,
+            transport=transport,
+        ) as pool:
+            rows = np.arange(10, dtype=np.uint64)
+            pool.submit(0, "ingest", (rows, rows, np.ones(10)))
+            assert pool.request(0, "clear") is True
+            pool.submit(0, "ingest", (rows, rows, np.full(10, 2.0)))
+            assert pool.request(0, "get", (3, 3)) == 2.0
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_control_interleaved_with_ingest_preserves_fifo(self, transport):
+        """Commands submitted *between* batches must not see later batches.
+
+        Regression test: submit ingest A, then ``clear``, then ingest B —
+        all fire-and-forget, no reply collected in between.  A wire that
+        drains eagerly would apply both A and B before the clear and lose B;
+        strict per-worker FIFO keeps exactly B.
+        """
+        with ShardWorkerPool(
+            1,
+            matrix_kwargs={"cuts": CUTS},
+            use_processes=True,
+            transport=transport,
+        ) as pool:
+            rows = np.arange(10, dtype=np.uint64)
+            pool.submit(0, "ingest", (rows, rows, np.ones(10)))
+            pool.submit(0, "clear")
+            pool.submit(0, "ingest", (rows, rows, np.full(10, 2.0)))
+            pool.submit(0, "get", (3, 3))
+            pool.submit(0, "stats")
+            assert pool.collect(0) is True  # clear: saw A, not B
+            assert pool.collect(0) == 2.0  # get: exactly batch B survived
+            assert pool.collect(0)["updates"] == 10  # stats: B only
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_many_interleaved_controls_stay_ordered(self, transport):
+        """A stats burst between every batch observes exact running counts."""
+        with ShardWorkerPool(
+            1,
+            matrix_kwargs={"cuts": CUTS},
+            use_processes=True,
+            transport=transport,
+        ) as pool:
+            for b in range(8):
+                rows = np.arange(b * 20, b * 20 + 20, dtype=np.uint64)
+                pool.submit(0, "ingest", (rows, rows, np.ones(20)))
+                pool.submit(0, "stats")
+            counts = [pool.collect(0)["updates"] for _ in range(8)]
+            assert counts == [20 * (b + 1) for b in range(8)]
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "np_type",
+        [np.float64, np.float32, np.int64, np.uint64, np.int32, np.uint8, np.bool_],
+    )
+    def test_roundtrip_is_bit_exact(self, np_type):
+        codec = ValueCodec(np_type)
+        rng = np.random.default_rng(3)
+        if np.dtype(np_type) == np.bool_:
+            values = rng.integers(0, 2, 64).astype(np.bool_)
+        elif np.issubdtype(np_type, np.integer):
+            info = np.iinfo(np_type)
+            values = rng.integers(info.min, info.max, 64, dtype=np.int64 if info.min < 0 else np.uint64).astype(np_type)
+        else:
+            values = rng.normal(scale=1e6, size=64).astype(np_type)
+        decoded = codec.decode(codec.encode(values, values.size))
+        assert decoded.dtype == np.dtype(np_type)
+        assert np.array_equal(decoded, values)
+
+    def test_float64_bit_patterns_survive(self):
+        codec = ValueCodec(np.float64)
+        tricky = np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 2 ** -1074, 1e308])
+        decoded = codec.decode(codec.encode(tricky, tricky.size))
+        assert np.array_equal(
+            decoded.view(np.uint64), tricky.view(np.uint64)
+        ), "NaN payloads and signed zeros must cross bit-exactly"
+
+    def test_float32_signalling_nan_not_quieted(self):
+        """Narrow floats cross as raw bytes: widening through float64 would
+        set the quiet bit on a signalling NaN and break queue/shm parity."""
+        codec = ValueCodec(np.float32)
+        patterns = np.array(
+            [0x7F800001, 0xFF800001, 0x7FC00000, 0x80000000], dtype=np.uint32
+        )  # sNaN, -sNaN, qNaN, -0.0
+        tricky = patterns.view(np.float32)
+        decoded = codec.decode(codec.encode(tricky, tricky.size))
+        assert np.array_equal(decoded.view(np.uint32), patterns)
+
+    def test_scalar_broadcast_matches_update_semantics(self):
+        codec = ValueCodec(np.float32)
+        decoded = codec.decode(codec.encode(1.5, 4))
+        assert np.array_equal(decoded, np.full(4, 1.5, dtype=np.float32))
+
+    def test_wide_types_rejected(self):
+        with pytest.raises(ValueError):
+            ValueCodec(np.complex128)
