@@ -185,6 +185,30 @@ class TestPackedVsLexsort:
         assert np.array_equal(packed_out, fallback_out)
         assert (packed_out[: self.N_QUERIES // 2] >= 0).all()
 
+    def test_flush_reuses_pending_keys(self, benchmark, triples):
+        """One layer-1 flush packs its pending triples exactly once (PR-5 lever).
+
+        ``Matrix._wait`` fuses build (sort + collapse) and the stored-side
+        union merge; before the reuse lever each stage packed the pending
+        coordinates independently.  Counting ``coords.pack`` invocations
+        around a steady-state flush pins the contract: one pack for the
+        pending side (inside ``build_triples``), one for the stored side
+        (inside ``union_merge``) — three would mean the reuse regressed.
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows, cols, vals = triples
+        half = self.N // 2
+        M = Matrix("fp64", 2 ** 32, 2 ** 32)
+        M.build(rows[:half], cols[:half], vals[:half])  # non-empty stored side
+        M.build(rows[half:], cols[half:], vals[half:], lazy=True)
+        before = coords.pack_calls()
+        M.wait()
+        packs_per_flush = coords.pack_calls() - before
+        assert packs_per_flush == 2, (
+            f"flush packed coordinates {packs_per_flush} times; the pending "
+            "keys must be built once and reused by the union merge"
+        )
+
     def test_zz_packed_report(self, benchmark, results_dir):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
         assert len(_packed_vs_fallback) == 3

@@ -266,6 +266,19 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         help="print the incrementally maintained traffic statistics (degree "
         "summary + top supernodes) served without materialising the shards",
     )
+    parser.add_argument(
+        "--rebalance", choices=["auto", "manual"], default=None,
+        help="migrate slabs between live shards mid-stream: 'auto' checks the "
+        "per-shard nnz imbalance periodically and moves a slab from the most "
+        "to the least loaded shard whenever it exceeds --imbalance-threshold; "
+        "'manual' forces exactly one migration at the stream midpoint. "
+        "Ingest never stops; the partition-map epoch fences in-flight batches.",
+    )
+    parser.add_argument(
+        "--imbalance-threshold", type=float, default=1.5,
+        help="max/mean per-shard nnz ratio tolerated before an auto "
+        "rebalance fires (default 1.5; 1.0 is perfectly even)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
@@ -275,12 +288,16 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
 
         rows, cols, vals = read_triples_arrays(args.replay)
         stream = batched(rows, cols, vals, batch_size=args.batch_size)
+        # Replay ignores --updates; cadence math below must use the real
+        # stream length or a short capture would never hit its midpoint.
+        stream_updates = int(np.asarray(rows).size)
     elif args.source == "traffic":
         nwindows = max(-(-args.updates // args.batch_size), 1)
         stream = _exact_stream(
             synthetic_packets(args.batch_size, nwindows, seed=args.seed),
             args.updates,
         )
+        stream_updates = args.updates
     else:
         nbatches = max(-(-args.updates // args.batch_size), 1)
         stream = _exact_stream(
@@ -291,6 +308,7 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
             ),
             args.updates,
         )
+        stream_updates = args.updates
 
     matrix = ShardedHierarchicalMatrix(
         args.shards,
@@ -302,11 +320,45 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         transport=args.transport,
     )
     transport_in_force = matrix.transport
+    expected_batches = max(-(-stream_updates // args.batch_size), 1)
+    rebalance_events = []
     with matrix:
         wall_start = time.perf_counter()
-        total = matrix.ingest(stream)
+        if args.rebalance is None:
+            total = matrix.ingest(stream)
+        else:
+            # Interleave live migrations with the stream: ingest continues on
+            # every other shard while a slab moves, and batches routed before
+            # a migration are fenced by the transport barrier ordering.
+            check_every = max(expected_batches // 4, 1)
+            interval = check_every
+            count = 0
+            next_check = check_every
+            for batch in stream:
+                rows, cols, values = normalize_batch(batch)
+                matrix.update(rows, cols, values)
+                count += 1
+                if args.rebalance == "auto" and count >= next_check:
+                    report = matrix.rebalance(threshold=args.imbalance_threshold)
+                    # A fruitless check (None while skewed — e.g. one hot
+                    # coordinate dominates and no slab can move) doubles the
+                    # interval so the worker-side scan is not repeated every
+                    # cadence; a completed migration re-arms the base rate.
+                    interval = check_every if report is not None else interval * 2
+                    next_check = count + interval
+                elif args.rebalance == "manual" and count == max(
+                    expected_batches // 2, 1
+                ):
+                    report = matrix.rebalance()
+                else:
+                    report = None
+                if report is not None:
+                    rebalance_events.append(report)
+            total = matrix.total_updates
         matrix.finalize()
         wall = time.perf_counter() - wall_start
+        imbalance_final = matrix.imbalance() if args.rebalance else None
+        map_epoch = matrix.map_epoch
         reports = matrix.reports()
         stats = None
         supernodes = None
@@ -346,6 +398,24 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         if stats is not None:
             payload["stats"] = stats
             payload["supernodes"] = supernodes
+        if args.rebalance is not None:
+            payload["rebalance"] = {
+                "mode": args.rebalance,
+                "map_epoch": map_epoch,
+                "imbalance_final": imbalance_final,
+                "events": [
+                    {
+                        "epoch": r.epoch,
+                        "source": r.source,
+                        "dest": r.dest,
+                        "moved": r.moved,
+                        "slab_lo": r.slab[0],
+                        "slab_hi": r.slab[1],
+                        "imbalance_before": r.imbalance_before,
+                    }
+                    for r in rebalance_events
+                ],
+            }
         print(json.dumps(payload, indent=2))
     else:
         print(f"shards:                {args.shards} ({args.partition} partition)")
@@ -362,6 +432,17 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         print(f"aggregate rate (sum):  {rate_sum:,.0f} updates/s")
         print(f"aggregate rate (wall): {rate_wall:,.0f} updates/s")
         print(f"global nvals:          {nvals:,}")
+        if args.rebalance is not None:
+            print(
+                f"rebalance:             {args.rebalance}, "
+                f"{len(rebalance_events)} migration(s), map epoch {map_epoch}, "
+                f"final imbalance {imbalance_final:.3f}"
+            )
+            for r in rebalance_events:
+                print(
+                    f"  epoch {r.epoch}: shard {r.source} -> {r.dest}, "
+                    f"{r.moved:,} entries, imbalance before {r.imbalance_before:.3f}"
+                )
         if stats is not None:
             print("--- incremental traffic statistics (no materialize) ---")
             print(f"nnz:                   {stats['nnz']:,.0f}")

@@ -454,6 +454,28 @@ class HierarchicalMatrix:
     def __contains__(self, key) -> bool:
         return self.get(int(key[0]), int(key[1])) is not None
 
+    def reset_from_triples(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> "HierarchicalMatrix":
+        """Replace the logical content with an already-combined COO set.
+
+        The triples must be duplicate-free with values already combined the
+        way :meth:`materialize` would have combined them — the shape of data
+        produced by materialising and filtering this (or a peer) hierarchy,
+        which is exactly what shard slab migration and checkpoint restore
+        hand back.  The set is installed into the unbounded top layer (no
+        cascades fire), the lower layers start empty, and the
+        :attr:`incremental` tracker is rebuilt from the same triples, so the
+        logical matrix and its tracked reductions stay mutually exact.
+        Streaming may continue afterwards.
+        """
+        for layer in self._layers:
+            layer.clear()
+        if rows.size:
+            self._layers[-1].build(rows, cols, vals, dup_op=self._accum)
+        self._incremental.rebuild_from_triples(rows, cols, vals)
+        return self
+
     def clear(self) -> "HierarchicalMatrix":
         """Empty every layer (cuts and statistics structure are retained)."""
         for layer in self._layers:

@@ -5,9 +5,20 @@ engine, and the Figure 2 table assembly."""
 
 from .aggregate import DEFAULT_SERVER_COUNTS, Figure2Row, build_figure2_table, format_table
 from .engine import ParallelIngestEngine, ParallelIngestResult, ingest_worker
+from .partition import (
+    PARTITION_NAMES,
+    PartitionMap,
+    partition_keys,
+    partition_keyspace,
+)
 from .pool import ShardWorkerPool, WorkerCrash, WorkerReport, stream_powerlaw
 from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, RingTimeout, ShmRing
-from .sharded import ShardRouter, ShardedHierarchicalMatrix, ShardedIncrementalReductions
+from .sharded import (
+    RebalanceReport,
+    ShardRouter,
+    ShardedHierarchicalMatrix,
+    ShardedIncrementalReductions,
+)
 from .supercloud import ClusterConfig, ScalingPoint, SuperCloudModel
 from .transport import (
     TRANSPORT_NAMES,
@@ -33,6 +44,11 @@ __all__ = [
     "ShardRouter",
     "ShardedHierarchicalMatrix",
     "ShardedIncrementalReductions",
+    "RebalanceReport",
+    "PartitionMap",
+    "partition_keys",
+    "partition_keyspace",
+    "PARTITION_NAMES",
     "ShardTransport",
     "QueueTransport",
     "ShmRingTransport",

@@ -29,6 +29,14 @@ in-process state object when ``use_processes=False`` — owns a private
     traffic, exact nnz), or one reduction vector as ``(indices, values)``
     COO pairs — served from the running tracker, so neither command forces
     the shard's deferred layer-1 flush or a materialize.
+``extract_slab`` / ``install_slab`` / ``discard_slab``
+    The worker half of live slab migration (PR 5, driven by
+    :meth:`ShardedHierarchicalMatrix.rebalance
+    <repro.distributed.sharded.ShardedHierarchicalMatrix.rebalance>`):
+    copy a partition-key slab out of a shard (packed keys + raw value
+    bits), apply a migrated slab, and drop a slab after its new owner
+    confirmed.  All reply-bearing, so they are barriers against in-flight
+    ingest on every transport.
 ``report`` / ``clear`` / ``stop``
     Measurement snapshot, state reset, and shutdown.
 

@@ -21,7 +21,11 @@ Layout of the shared block (all slots are little-endian ``uint64``)::
 
 A *frame* is one pushed batch: a single header slot (``keys[i] = n``, the
 payload length; ``bits[i]`` = caller-defined frame flags) followed by ``n``
-key slots and ``n`` value slots, wrapping modulo the capacity.
+key slots and ``n`` value slots, wrapping modulo the capacity.  The header
+length word's top bit marks a *key-only* frame (``push(keys)`` with no value
+array): the value slots stay reserved but are neither written nor read, and
+``pop`` returns ``bits=None`` — the shm transport uses this to ship all-ones
+traffic batches with half the copy bytes.
 ``write_seq``/``read_seq`` are monotone slot counters — the watermark
 handshake: free space is ``capacity - (write_seq - read_seq)``, the producer
 spins (with an exponential-backoff sleep and an optional liveness probe)
@@ -53,7 +57,56 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ShmRing", "RingClosed", "RingTimeout", "DEFAULT_RING_SLOTS"]
+__all__ = ["ShmRing", "RingClosed", "RingTimeout", "ValueCodec", "DEFAULT_RING_SLOTS"]
+
+
+class ValueCodec:
+    """Bit-exact ``values <-> uint64`` wire codec for one shard value type.
+
+    The sender converts values to the shard's dtype — the same (single)
+    conversion :meth:`HierarchicalMatrix.update
+    <repro.core.HierarchicalMatrix.update>` would apply worker-side on the
+    queue wire — then transmits *raw bit patterns*: 8-byte types cross as
+    their own bits, narrower types as zero-padded raw bytes.  No numeric
+    widening happens after the dtype conversion, so even exotic payloads
+    (signalling NaNs, negative zeros) cross unchanged and every framing
+    built on this codec (ring ingest frames, migration slab payloads)
+    remains bit-identical to the pickled wire.  Types wider than 8 bytes are
+    not representable (the transport factory falls back to the queue wire
+    for those).  Producer and consumer share one machine, so native byte
+    order is consistent by construction.
+    """
+
+    def __init__(self, np_type) -> None:
+        self.np_type = np.dtype(np_type)
+        self.itemsize = int(self.np_type.itemsize)
+        if self.itemsize > 8:
+            raise ValueError(
+                f"value type {self.np_type} does not fit the 8-byte ring slot"
+            )
+
+    def encode(self, values, n: int) -> np.ndarray:
+        """Bit pattern of ``values`` (scalar broadcast over ``n``) as uint64."""
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            typed = np.full(n, values, dtype=self.np_type)
+        else:
+            typed = np.ascontiguousarray(np.asarray(values), dtype=self.np_type)
+        if self.itemsize == 8:
+            return typed.view(np.uint64)
+        out = np.zeros(typed.size, dtype=np.uint64)
+        out.view(np.uint8).reshape(-1, 8)[:, : self.itemsize] = typed.view(
+            np.uint8
+        ).reshape(-1, self.itemsize)
+        return out
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Invert :meth:`encode` back to a typed value array."""
+        if self.itemsize == 8:
+            return bits.view(self.np_type)
+        raw = np.ascontiguousarray(
+            bits.view(np.uint8).reshape(-1, 8)[:, : self.itemsize]
+        )
+        return raw.view(self.np_type).reshape(-1)
 
 #: Default ring capacity in slots (16 bytes of payload per slot across the
 #: two arrays): 128Ki slots = 2 MiB per worker — enough to pipeline several
@@ -64,6 +117,14 @@ _HEADER_SLOTS = 24
 _W, _BW = 0, 1  # producer cache line
 _R, _BR = 8, 9  # consumer cache line
 _CLOSED, _CAPACITY = 16, 17  # cold line
+
+#: Top bit of a frame's length word marks a *key-only* frame: the producer
+#: wrote no value slots (the consumer substitutes the implied all-ones
+#: payload), halving the bytes copied for the dominant ``values=1`` traffic
+#: workload.  The bit lives in the ring-owned length word, so the
+#: caller-defined ``flags`` word stays fully opaque.
+_KEYS_ONLY_BIT = np.uint64(1 << 63)
+_LEN_MASK = (1 << 63) - 1
 
 
 class RingClosed(RuntimeError):
@@ -190,7 +251,7 @@ class ShmRing:
     def push(
         self,
         keys: np.ndarray,
-        bits: np.ndarray,
+        bits: Optional[np.ndarray] = None,
         *,
         flags: int = 0,
         timeout: Optional[float] = None,
@@ -207,13 +268,23 @@ class ShmRing:
         back by :meth:`pop` (every split frame carries the same flags).
         Returns the number of frames published (>= 1; more when the batch was
         split because it exceeds ``capacity - 1`` payload slots).
+
+        ``bits=None`` publishes a *key-only* frame: no value slots are
+        written or read — :meth:`pop` hands back ``bits=None`` and the
+        consumer supplies the payload implied by its protocol (the shm
+        transport uses this for all-ones traffic batches, halving the bytes
+        copied per update).  The frame still reserves its parallel value
+        slots (the ring is a pair of parallel arrays), so only the copies
+        are saved, never the capacity accounting.
         """
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        bits = np.ascontiguousarray(bits, dtype=np.uint64)
-        if keys.size != bits.size:
-            raise ValueError(
-                f"keys and value-bits differ in length ({keys.size} vs {bits.size})"
-            )
+        keys_only = bits is None
+        if not keys_only:
+            bits = np.ascontiguousarray(bits, dtype=np.uint64)
+            if keys.size != bits.size:
+                raise ValueError(
+                    f"keys and value-bits differ in length ({keys.size} vs {bits.size})"
+                )
         deadline = None if timeout is None else time.monotonic() + timeout
         max_payload = self._capacity - 1
         frames = 0
@@ -221,7 +292,12 @@ class ShmRing:
         while True:
             stop = min(start + max_payload, keys.size)
             self._push_frame(
-                keys[start:stop], bits[start:stop], flags, deadline, poll, still_alive
+                keys[start:stop],
+                None if keys_only else bits[start:stop],
+                flags,
+                deadline,
+                poll,
+                still_alive,
             )
             frames += 1
             start = stop
@@ -251,10 +327,14 @@ class ShmRing:
             time.sleep(backoff)
             backoff = min(backoff * 2, 0.002)
         idx = w % self._capacity
-        self._keys[idx] = n
+        header = np.uint64(n)
+        if bits is None:
+            header |= _KEYS_ONLY_BIT
+        self._keys[idx] = header
         self._bits[idx] = np.uint64(flags)
         self._copy_in(self._keys, idx + 1, keys)
-        self._copy_in(self._bits, idx + 1, bits)
+        if bits is not None:
+            self._copy_in(self._bits, idx + 1, bits)
         # Publish order matters (see module docstring): payload first, then
         # the frame counter, then the slot counter the consumer polls.
         self._hdr[_BW] += np.uint64(1)
@@ -271,21 +351,28 @@ class ShmRing:
     # consumer side
     # ------------------------------------------------------------------ #
 
-    def pop(self) -> Optional[Tuple[np.ndarray, np.ndarray, int]]:
+    def pop(self) -> Optional[Tuple[np.ndarray, Optional[np.ndarray], int]]:
         """Consume the next frame, or return ``None`` when the ring is empty.
 
         Returns fresh ``(keys, value_bits, flags)`` — the arrays are copies
         (the slots are recycled as soon as ``read_seq`` advances) and
         ``flags`` is the word the producer passed to :meth:`push`.
+        ``value_bits`` is ``None`` for a key-only frame (the producer passed
+        ``bits=None``); the consumer supplies the implied payload.
         """
         r = int(self._hdr[_R])
         if r == int(self._hdr[_W]):
             return None
         idx = r % self._capacity
-        n = int(self._keys[idx])
+        header = int(self._keys[idx])
+        n = header & _LEN_MASK
         flags = int(self._bits[idx])
         keys = self._copy_out(self._keys, idx + 1, n)
-        bits = self._copy_out(self._bits, idx + 1, n)
+        bits = (
+            None
+            if header & int(_KEYS_ONLY_BIT)
+            else self._copy_out(self._bits, idx + 1, n)
+        )
         # Consume order: payload copied out first, then the slots released.
         self._hdr[_BR] += np.uint64(1)
         self._hdr[_R] = np.uint64(r + n + 1)

@@ -22,12 +22,27 @@ the packed ``uint64`` ``(row << col_bits) | col``; hash partitioning mixes it
 through splitmix64, range partitioning divides the occupied key space into K
 contiguous slabs (preserving locality for range analytics).  Full 64-bit IPv6
 shapes fall back to hashing the raw coordinates / range-partitioning rows.
+
+Since PR 5 the shard owning a coordinate is no longer frozen at construction:
+ownership lives in an epoch-versioned :class:`~repro.distributed.partition.
+PartitionMap` that :meth:`ShardedHierarchicalMatrix.rebalance` rewrites by
+migrating a slab of stored triples (plus its derived tracker state) between
+live workers — the stream keeps flowing, and the conformance suite holds the
+result bit-identical to a flat matrix across any rebalance schedule, under
+the engine's standing exactness caveat: migration ships *combined* values
+(and forces the source's deferred flush), which regroups floating-point
+additions, so bit-identity is guaranteed for exactly representable values
+(integer packet/byte counts — the same qualifier the sharded guarantee has
+carried since PR 2); arbitrary float streams agree to rounding.
 """
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..graphblas import Matrix, Vector, coords
@@ -35,17 +50,28 @@ from ..graphblas import _kernels as K
 from ..graphblas.binaryop import BinaryOp, binary
 from ..graphblas.errors import DimensionMismatch, InvalidIndex, InvalidValue
 from ..graphblas.types import DataType, lookup_dtype
-from ..workloads.powerlaw import _splitmix64
 from ..workloads.stream import normalize_batch
+from .partition import (
+    PARTITION_NAMES,
+    PartitionMap,
+    partition_keys,
+    partition_keyspace,
+)
 from .pool import ShardWorkerPool, WorkerReport
+from .worker import WorkerCrash
 
-__all__ = ["ShardRouter", "ShardedIncrementalReductions", "ShardedHierarchicalMatrix"]
+__all__ = [
+    "ShardRouter",
+    "ShardedIncrementalReductions",
+    "ShardedHierarchicalMatrix",
+    "RebalanceReport",
+]
 
 _KEY_BITS = 64
 
 
 class ShardRouter:
-    """Deterministic ``(row, col) -> shard`` routing over the packed-key codec.
+    """Deterministic ``(row, col, epoch) -> shard`` routing over the packed-key codec.
 
     Parameters
     ----------
@@ -57,13 +83,21 @@ class ShardRouter:
     partition:
         ``"hash"`` (splitmix64 of the packed key, load-balancing) or
         ``"range"`` (contiguous slabs of the packed key space, locality
-        preserving).
+        preserving).  Either way the partition key feeds an epoch-versioned
+        :class:`~repro.distributed.partition.PartitionMap`; the epoch-0 map
+        reproduces the closed-form PR-2 range assignment exactly, while hash
+        placement becomes contiguous slabs of the hashed keyspace (same
+        uniform load as the old modulo; see
+        :meth:`PartitionMap.uniform <repro.distributed.partition.PartitionMap.uniform>`).
 
     Notes
     -----
     The split comes from :func:`repro.graphblas.coords.shape_split`, which
     ignores the global packing toggle — disabling the packed kernels for
-    benchmarking never changes which shard owns a coordinate.
+    benchmarking never changes which shard owns a coordinate.  Ownership *is*
+    allowed to change across map epochs: :meth:`install` publishes the next
+    map after a completed slab migration, and every batch routes under
+    exactly one epoch.
     """
 
     def __init__(
@@ -77,25 +111,46 @@ class ShardRouter:
         self.nshards = int(nshards)
         if self.nshards < 1:
             raise InvalidValue("nshards must be >= 1")
-        if partition not in ("hash", "range"):
+        if partition not in PARTITION_NAMES:
             raise InvalidValue(f"partition must be 'hash' or 'range', got {partition!r}")
         self.partition = partition
         self.nrows = int(nrows)
         self.ncols = int(ncols)
         self.spec = coords.shape_split(self.nrows, self.ncols)
-        if partition == "range":
-            if self.spec is not None:
-                # Divide the *occupied* key space (nrows << col_bits), not the
-                # full 2^64, so small shapes still balance across shards.
-                keyspace = self.nrows << self.spec.col_bits
-            else:
-                # Unpackable shapes slab the occupied row space [0, nrows);
-                # dividing the full 2^64 here would route every row of e.g. a
-                # 2^33 x 2^33 shape to shard 0.
-                keyspace = self.nrows
-            self._chunk = -(-keyspace // self.nshards)  # ceil division
-        else:
-            self._chunk = 0
+        # The occupied key space (nrows << col_bits) for packable range
+        # partitions, the row space for unpackable ones, the full hashed
+        # 2^64 for hash — see partition_keyspace for the rationale.
+        self.keyspace = partition_keyspace(partition, self.spec, self.nrows)
+        self._map = PartitionMap.uniform(self.nshards, self.keyspace)
+
+    @property
+    def map(self) -> PartitionMap:
+        """The partition map currently routing batches."""
+        return self._map
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the installed map (0 until the first rebalance)."""
+        return self._map.epoch
+
+    def install(self, new_map: PartitionMap) -> None:
+        """Publish the next map epoch (after a completed slab migration)."""
+        if new_map.nshards != self.nshards or new_map.keyspace != self.keyspace:
+            raise InvalidValue("partition map does not match this router's domain")
+        if new_map.epoch <= self._map.epoch:
+            raise InvalidValue(
+                f"stale map epoch {new_map.epoch} (installed: {self._map.epoch})"
+            )
+        self._map = new_map
+
+    def partition_keys(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Partition key of each pair (the map's domain; shared with workers)."""
+        return partition_keys(rows, cols, self.partition, self.spec, keys=keys)
 
     def shard_of(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Shard index of each coordinate pair (vectorised, int64)."""
@@ -118,17 +173,8 @@ class ShardRouter:
             keys = coords.pack(rows, cols, self.spec)
         if self.nshards == 1:
             return np.zeros(rows.size, dtype=np.int64), keys
-        if self.partition == "hash":
-            if keys is None:
-                with np.errstate(over="ignore"):
-                    hashed = rows + _splitmix64(cols)
-            else:
-                hashed = keys
-            shard = (_splitmix64(hashed) % np.uint64(self.nshards)).astype(np.int64)
-            return shard, keys
-        slab_key = keys if keys is not None else rows
-        shard = (slab_key // np.uint64(self._chunk)).astype(np.int64)
-        return np.minimum(shard, self.nshards - 1), keys
+        pkeys = partition_keys(rows, cols, self.partition, self.spec, keys=keys)
+        return self._map.owner_of(pkeys), keys
 
 
 class ShardedIncrementalReductions:
@@ -172,6 +218,15 @@ class ShardedIncrementalReductions:
             )
         self._stats_memo = (stamp, stats)
         return stats
+
+    def invalidate(self) -> None:
+        """Drop the memoised per-shard stats.
+
+        Called after a rebalance: migration moves entries between shards
+        without routing new updates, so the memo stamp (routed-update
+        counters) would not change while the per-shard snapshots did.
+        """
+        self._stats_memo = None
 
     def _support_flags(self) -> Tuple[bool, bool]:
         # Support is a pure function of the (uniform) shard configuration, so
@@ -239,6 +294,36 @@ class ShardedIncrementalReductions:
                 "64-bit coordinate key"
             )
         return int(sum(s["nnz"] for s in stats))
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one completed live slab migration.
+
+    Attributes
+    ----------
+    epoch:
+        Map epoch *after* the migration (the epoch new batches route under).
+    source, dest:
+        Shard the slab left and the shard it now lives on.
+    moved:
+        Stored entries migrated.
+    slab:
+        The reassigned partition-key interval ``[lo, hi)``.
+    loads_before:
+        Per-shard load (by the policy's metric) when the migration was
+        decided.
+    imbalance_before:
+        ``max(load) / mean(load)`` at decision time (1.0 is perfectly even).
+    """
+
+    epoch: int
+    source: int
+    dest: int
+    moved: int
+    slab: Tuple[int, int]
+    loads_before: Tuple[float, ...]
+    imbalance_before: float
 
 
 class ShardedHierarchicalMatrix:
@@ -395,8 +480,18 @@ class ShardedHierarchicalMatrix:
 
     @property
     def router(self) -> ShardRouter:
-        """The coordinate router (deterministic per shape/partition)."""
+        """The coordinate router (deterministic per shape/partition/epoch)."""
         return self._router
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        """The epoch-versioned partition map currently routing batches."""
+        return self._router.map
+
+    @property
+    def map_epoch(self) -> int:
+        """Partition-map epoch (0 until the first completed rebalance)."""
+        return self._router.epoch
 
     @property
     def total_updates(self) -> int:
@@ -511,6 +606,174 @@ class ShardedHierarchicalMatrix:
         one ``{"total_updates", "elapsed_seconds"}`` dict per shard.
         """
         return self._pool.request_all("finalize")
+
+    # ------------------------------------------------------------------ #
+    # live rebalancing (PR 5)
+    # ------------------------------------------------------------------ #
+
+    def shard_loads(self, by: str = "nnz") -> List[float]:
+        """Per-shard load under one metric (served without materialising).
+
+        ``by="nnz"`` reads each shard's exact stored-entry count from its
+        incremental tracker; ``by="traffic"`` reads the total observed update
+        weight.  When the tracker cannot serve the metric (non-``plus``
+        accumulators, unpackable shapes) both fall back to the per-shard
+        materialised entry count — *not* the routed-update counters, which
+        migration never transfers and which would therefore keep reporting a
+        drained shard as loaded.
+        """
+        return self._shard_loads_with_units(by)[0]
+
+    def _shard_loads_with_units(self, by: str) -> Tuple[List[float], str]:
+        """Loads plus the metric actually measured (``"nnz"`` after a
+        traffic fallback), so the migration cut weighs entries in the same
+        units the loads were."""
+        if by not in ("nnz", "traffic"):
+            raise InvalidValue(f"load metric must be 'nnz' or 'traffic', got {by!r}")
+        stats = self._pool.request_all("stats")
+        if by == "traffic" and all(s["supported"] for s in stats):
+            return [float(s["total"]) for s in stats], "traffic"
+        if by == "nnz" and all(s["fan_supported"] for s in stats):
+            return [float(s["nnz"]) for s in stats], "nnz"
+        return (
+            [float(r.final_nvals) for r in self._pool.request_all("report")],
+            "nnz",
+        )
+
+    @staticmethod
+    def _imbalance(loads: Sequence[float]) -> float:
+        total = float(sum(loads))
+        if total <= 0.0:
+            return 1.0
+        return max(loads) / (total / len(loads))
+
+    def imbalance(self, by: str = "nnz") -> float:
+        """``max(load) / mean(load)`` across shards (1.0 is perfectly even)."""
+        return self._imbalance(self.shard_loads(by))
+
+    def rebalance(
+        self,
+        source: Optional[int] = None,
+        dest: Optional[int] = None,
+        *,
+        by: str = "nnz",
+        fraction: float = 0.5,
+        threshold: Optional[float] = None,
+    ) -> Optional[RebalanceReport]:
+        """Migrate one slab from an overloaded to an underloaded live shard.
+
+        Without arguments this is the auto-policy: measure per-shard loads
+        from the PR-3 incremental trackers (metric ``by``), pick the most
+        loaded shard as ``source`` and the least loaded as ``dest``, and move
+        a slab containing roughly ``fraction`` of their load difference.
+        Pass ``threshold`` to make the call a no-op (returning ``None``)
+        while ``imbalance() <= threshold``; pass explicit ``source``/``dest``
+        for manual placement.  Repeated calls converge: each migration moves
+        half the remaining max-min gap.
+
+        The stream never stops.  The protocol rides the transport barrier
+        ordering (PR 4), so in-flight batches routed under the old epoch land
+        before the slab is cut:
+
+        1. ``extract_slab`` on the source — a reply-bearing barrier command
+           that *copies* the chosen slab (packed keys + raw value bits) out
+           of the source's matrix without removing anything;
+        2. ``install_slab`` on the destination — applies the slab and lets
+           the destination's incremental tracker observe it (for the one
+           tracker-supported accumulator, ``plus``, a slab's tracker state
+           is exactly its combined triples, so shipping the triples ships
+           the tracker split);
+        3. ``discard_slab`` on the source — removes the slab and rebuilds
+           the source tracker from the retained triples;
+        4. only then is the new map epoch published parent-side, so every
+           subsequent batch routes to the new owner.
+
+        A crash at any step leaves the previous epoch in force with no
+        coordinate orphaned or double-owned: before step 3 the source still
+        holds the authoritative copy (a failed install is compensated by
+        discarding the copy from the destination), and after step 3 the
+        destination does.  :class:`WorkerCrash` propagates to the caller.
+
+        Returns a :class:`RebalanceReport`, or ``None`` when there is
+        nothing to do (single shard, imbalance under ``threshold``, or an
+        empty source).
+        """
+        if self.nshards < 2:
+            return None
+        if not 0.0 < float(fraction) <= 1.0:
+            raise InvalidValue(f"fraction must be in (0, 1], got {fraction}")
+        loads, units = self._shard_loads_with_units(by)
+        imbalance = self._imbalance(loads)
+        if threshold is not None and imbalance <= float(threshold):
+            return None
+        if source is None:
+            source = int(np.argmax(loads))
+        source = int(source)
+        if dest is None:
+            dest = min(
+                (load, s) for s, load in enumerate(loads) if s != source
+            )[1]
+        dest = int(dest)
+        if source == dest:
+            raise InvalidValue("rebalance source and dest must differ")
+        if not (0 <= source < self.nshards and 0 <= dest < self.nshards):
+            raise InvalidIndex(f"shard index out of range for {self.nshards} shards")
+        # The target is expressed in the policy metric's own units (entries
+        # for "nnz", summed |value| for "traffic") and the worker cuts the
+        # slab by the same weight, so a weighted stream moves ~fraction of
+        # the load gap rather than a mistranslated entry count.
+        target = (loads[source] - loads[dest]) * float(fraction)
+        if target <= 0:
+            return None
+        intervals = self._router.map.shard_intervals(source)
+        if not intervals:
+            return None
+        reply = self._pool.request(
+            source,
+            "extract_slab",
+            {
+                "partition": self.partition,
+                "intervals": intervals,
+                "target": target,
+                "weight": "value" if units == "traffic" else "count",
+            },
+        )
+        if reply["count"] == 0:
+            return None
+        lo, hi = reply["lo"], reply["hi"]
+        discard = {"partition": self.partition, "lo": lo, "hi": hi}
+        try:
+            self._pool.request(dest, "install_slab", reply["slab"])
+        except Exception:
+            # The source still holds the authoritative copy; best-effort
+            # removal of whatever the destination applied keeps the old
+            # epoch exact if the destination survived its error.  (Process
+            # wires surface failures as WorkerCrash; the in-process pool
+            # re-raises the worker exception directly.)
+            self._discard_quietly(dest, discard)
+            raise
+        try:
+            self._pool.request(source, "discard_slab", discard)
+        except Exception:
+            # Undo the install so the old epoch stays the single-owner map.
+            self._discard_quietly(dest, discard)
+            raise
+        self._router.install(self._router.map.assign(lo, hi, dest))
+        self._incremental.invalidate()
+        return RebalanceReport(
+            epoch=self.map_epoch,
+            source=source,
+            dest=dest,
+            moved=int(reply["count"]),
+            slab=(int(lo), int(hi)),
+            loads_before=tuple(loads),
+            imbalance_before=imbalance,
+        )
+
+    def _discard_quietly(self, shard: int, discard: dict) -> None:
+        """Best-effort compensation; the shard may already be dead."""
+        with contextlib.suppress(Exception):
+            self._pool.request(shard, "discard_slab", discard)
 
     # ------------------------------------------------------------------ #
     # global queries

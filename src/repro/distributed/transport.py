@@ -22,7 +22,9 @@ Two implementations:
     ingest batches as packed ``uint64`` coordinate keys (the PR-1 codec —
     exactly the routing keys, which the router hands over pre-packed so the
     hot path never packs twice) plus raw 64-bit value patterns: zero
-    pickling on the hot path.  Control commands travel on a small queue
+    pickling on the hot path.  All-ones batches (``values=1``, the traffic
+    workload) ship as *key-only* frames with no value payload at all; the
+    worker broadcasts scalar 1 back, bit-identical by construction.  Control commands travel on a small queue
     side-channel, and FIFO ordering against in-flight batches comes from the
     ring itself: every control first publishes an empty *barrier frame*
     in-band, and the worker executes the command only when it consumes that
@@ -57,7 +59,7 @@ import numpy as np
 from ..graphblas import coords
 from ..graphblas import _kernels as K
 from ..graphblas.types import lookup_dtype
-from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, ShmRing
+from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, ShmRing, ValueCodec
 from .worker import CommandExecutor, WorkerCrash
 
 __all__ = [
@@ -97,54 +99,6 @@ def _ring_memory_model_ok() -> bool:
     if os.environ.get("REPRO_SHM_TRANSPORT", "").lower() in {"force", "1"}:
         return True
     return platform.machine().lower() in _TSO_MACHINES
-
-
-class ValueCodec:
-    """Bit-exact ``values <-> uint64`` wire codec for one shard value type.
-
-    The parent converts values to the shard's dtype — the same (single)
-    conversion :meth:`HierarchicalMatrix.update
-    <repro.core.HierarchicalMatrix.update>` would apply worker-side on the
-    queue wire — then transmits *raw bit patterns*: 8-byte types cross as
-    their own bits, narrower types as zero-padded raw bytes.  No numeric
-    widening happens after the dtype conversion, so even exotic payloads
-    (signalling NaNs, negative zeros) cross unchanged and both wires remain
-    bit-identical.  Types wider than 8 bytes are not representable on the
-    ring (the transport factory falls back to the queue wire for those).
-    Producer and consumer share one machine, so native byte order is
-    consistent by construction.
-    """
-
-    def __init__(self, np_type) -> None:
-        self.np_type = np.dtype(np_type)
-        self.itemsize = int(self.np_type.itemsize)
-        if self.itemsize > 8:
-            raise ValueError(
-                f"value type {self.np_type} does not fit the 8-byte ring slot"
-            )
-
-    def encode(self, values, n: int) -> np.ndarray:
-        """Bit pattern of ``values`` (scalar broadcast over ``n``) as uint64."""
-        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
-            typed = np.full(n, values, dtype=self.np_type)
-        else:
-            typed = np.ascontiguousarray(np.asarray(values), dtype=self.np_type)
-        if self.itemsize == 8:
-            return typed.view(np.uint64)
-        out = np.zeros(typed.size, dtype=np.uint64)
-        out.view(np.uint8).reshape(-1, 8)[:, : self.itemsize] = typed.view(
-            np.uint8
-        ).reshape(-1, self.itemsize)
-        return out
-
-    def decode(self, bits: np.ndarray) -> np.ndarray:
-        """Invert :meth:`encode` back to a typed value array."""
-        if self.itemsize == 8:
-            return bits.view(self.np_type)
-        raw = np.ascontiguousarray(
-            bits.view(np.uint8).reshape(-1, 8)[:, : self.itemsize]
-        )
-        return raw.view(self.np_type).reshape(-1)
 
 
 def shm_supported(matrix_kwargs: Optional[Dict[str, Any]]) -> bool:
@@ -368,9 +322,15 @@ def _shm_worker_main(
 
     def apply_data(frame) -> None:
         keys, bits, _ = frame
-        executor.ingest(
-            lambda: (*coords.unpack(keys, spec), codec.decode(bits))
-        )
+        if bits is None:
+            # Key-only frame: the producer proved every value's bit pattern
+            # equals scalar 1 in the shard dtype, so the scalar broadcast in
+            # HierarchicalMatrix.update reconstructs the identical array.
+            executor.ingest(lambda: (*coords.unpack(keys, spec), 1))
+        else:
+            executor.ingest(
+                lambda: (*coords.unpack(keys, spec), codec.decode(bits))
+            )
 
     try:
         while True:
@@ -448,6 +408,12 @@ class ShmRingTransport(ShardTransport):
         self._codec = ValueCodec(
             lookup_dtype(self._matrix_kwargs.get("dtype", "fp64")).np_type
         )
+        # Bit pattern of scalar 1 in the shard dtype: batches whose every
+        # value matches it ship as key-only frames (no value payload at all
+        # — the all-ones traffic workload currently dominates the wire).
+        self._one_bits = np.uint64(self._codec.encode(1, 1)[0])
+        #: Key-only ingest frames published so far (observability + tests).
+        self.key_only_batches = 0
         slots = int(ring_slots) if ring_slots is not None else DEFAULT_RING_SLOTS
         self._rings = [ShmRing(slots) for _ in range(self.nworkers)]
         self._start()
@@ -485,7 +451,27 @@ class ShmRingTransport(ShardTransport):
             keys = np.ascontiguousarray(keys, dtype=np.uint64)
             if keys.size == 0:
                 return
-        bits = self._codec.encode(values, keys.size)
+        # All-ones batches (the traffic workload's `values=1`) cross as
+        # key-only frames: every value's bit pattern in the shard dtype is
+        # compared against scalar 1's — an exact, dtype-aware test — and a
+        # match drops the 8 value bytes per update from the wire copy.  The
+        # worker broadcasts scalar 1 back, which is bit-identical by
+        # construction.
+        scalar = np.isscalar(values) or (
+            isinstance(values, np.ndarray) and values.ndim == 0
+        )
+        if scalar:
+            if self._codec.encode(values, 1)[0] == self._one_bits:
+                self.key_only_batches += 1
+                self._push(worker, keys, None, _DATA_FRAME)
+                return
+            bits = self._codec.encode(values, keys.size)
+        else:
+            bits = self._codec.encode(values, keys.size)
+            if bits.size and bits[0] == self._one_bits and np.all(bits == self._one_bits):
+                self.key_only_batches += 1
+                self._push(worker, keys, None, _DATA_FRAME)
+                return
         self._push(worker, keys, bits, _DATA_FRAME)
 
     def send_control(self, worker: int, cmd: str, payload=None) -> None:

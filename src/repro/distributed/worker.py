@@ -20,8 +20,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import HierarchicalMatrix
+from ..graphblas import coords
 from ..graphblas.binaryop import binary
 from ..workloads.powerlaw import powerlaw_edges
+from .partition import interval_mask, partition_keys
+from .ringbuf import ValueCodec
 
 __all__ = [
     "WorkerReport",
@@ -127,6 +130,9 @@ REPLY_COMMANDS = frozenset(
         "stats",
         "reduce_incremental",
         "clear",
+        "extract_slab",
+        "install_slab",
+        "discard_slab",
     }
 )
 
@@ -159,8 +165,13 @@ class ShardState:
             accum = binary[accum]
         self.worker_id = int(worker_id)
         self.matrix = HierarchicalMatrix(nrows, ncols, dtype, accum=accum, **kwargs)
+        # The toggle-independent shape split — identical to the router's, so
+        # worker-side slab membership can never disagree with routing.
+        self.spec = coords.shape_split(int(nrows), int(ncols))
         self.done = 0
         self.elapsed = 0.0
+        self.slabs_in = 0
+        self.slabs_out = 0
 
     # -- command handlers ------------------------------------------------ #
 
@@ -227,8 +238,163 @@ class ShardState:
             self.matrix.clear()
             self.done = 0
             self.elapsed = 0.0
+            self.slabs_in = 0
+            self.slabs_out = 0
             return True
+        if cmd == "extract_slab":
+            return self._extract_slab(payload)
+        if cmd == "install_slab":
+            return self._install_slab(payload)
+        if cmd == "discard_slab":
+            return self._discard_slab(payload)
         raise ValueError(f"unknown worker command {cmd!r}")
+
+    # -- live slab migration (PR 5) -------------------------------------- #
+    #
+    # These three commands implement the worker half of
+    # ShardedHierarchicalMatrix.rebalance().  All of them are reply-bearing,
+    # so on every transport they are barriers against in-flight ingest
+    # batches: the slab the source cuts always reflects every batch routed
+    # to it under the old map epoch.  extract_slab only *copies* — the
+    # source stays authoritative until the coordinator has confirmed the
+    # install and asked for the discard, which is what keeps a crash at any
+    # step from orphaning or double-owning a coordinate.
+
+    def _slab_triples(self, partition: str, lo: int, hi: int):
+        """Materialised shard triples split into (slab mask, rows, cols, vals)."""
+        rows, cols, vals = self.matrix.to_coo()
+        pkeys = partition_keys(rows, cols, partition, self.spec)
+        return interval_mask(pkeys, int(lo), int(hi)), rows, cols, vals
+
+    def _encode_slab(self, rows, cols, vals):
+        """Slab wire form: packed uint64 keys + raw value bits when possible.
+
+        Reuses the shm ring's framing pieces (the PR-1 coordinate codec and
+        the :class:`~repro.distributed.ringbuf.ValueCodec` bit codec), so a
+        migrating slab crosses the reply channel as two flat uint64 arrays
+        instead of three pickled object arrays; unpackable (IPv6) shapes
+        fall back to plain COO triples.
+        """
+        if self.spec is not None and vals.dtype.itemsize <= 8:
+            codec = ValueCodec(vals.dtype)
+            return (
+                "packed",
+                coords.pack(rows, cols, self.spec),
+                codec.encode(vals, rows.size),
+            )
+        return ("coo", rows, cols, vals)
+
+    def _decode_slab(self, slab):
+        if slab[0] == "packed":
+            _, keys, bits = slab
+            rows, cols = coords.unpack(keys, self.spec)
+            return rows, cols, ValueCodec(self.matrix.dtype.np_type).decode(bits)
+        _, rows, cols, vals = slab
+        return rows, cols, vals
+
+    def _extract_slab(self, payload) -> Dict[str, Any]:
+        """Choose and copy out one slab; the shard's content is unchanged.
+
+        ``payload`` carries the partition kind plus either an explicit
+        ``lo``/``hi`` interval or ``intervals`` (the partition-map intervals
+        this shard owns) with a ``target`` load to move — then the cut is
+        chosen here, where the key distribution is known: the busiest owned
+        interval is found and its tail split off at the stored partition-key
+        quantile whose suffix load is closest to (at most) ``target``.  Load
+        is counted per the policy's metric: one unit per stored entry
+        (``weight="count"``, the nnz policy) or the entry's absolute value
+        (``weight="value"``, the traffic policy — exactly the units the
+        coordinator's traffic loads are measured in).  Cuts land on whole
+        keys only, so a hot coordinate is never split across shards.
+        """
+        partition = payload["partition"]
+        target = payload.get("target")
+        if target is None:
+            lo, hi = int(payload["lo"]), int(payload["hi"])
+            move, rows, cols, vals = self._slab_triples(partition, lo, hi)
+        else:
+            rows, cols, vals = self.matrix.to_coo()
+            pkeys = partition_keys(rows, cols, partition, self.spec)
+            weight = payload.get("weight", "count")
+            if weight == "value":
+                all_w = np.abs(vals.astype(np.float64, copy=False))
+            else:
+                all_w = np.ones(rows.size, dtype=np.float64)
+            # Pick the heaviest owned interval *in the policy's own units*:
+            # under the traffic policy a few huge-value entries outweigh a
+            # crowd of light ones, and cutting the crowded interval instead
+            # would move almost none of the load gap.
+            best = None
+            for cand_lo, cand_hi in payload["intervals"]:
+                in_interval = interval_mask(pkeys, int(cand_lo), int(cand_hi))
+                load = float(all_w[in_interval].sum())
+                if best is None or load > best[0]:
+                    best = (load, int(cand_lo), int(cand_hi), in_interval)
+            _, int_lo, hi, in_interval = best
+            n_in = int(in_interval.sum())
+            if n_in == 0 or target <= 0:
+                return {"lo": int_lo, "hi": hi, "count": 0, "slab": None}
+            sel = np.flatnonzero(in_interval)
+            order = np.argsort(pkeys[sel], kind="stable")
+            sorted_keys = pkeys[sel][order]
+            w = all_w[sel][order]
+            # suffix[i] = load of the candidate slab starting at entry i;
+            # move the longest suffix whose load does not exceed the target
+            # (for unit weights this is exactly the old "tail of `target`
+            # entries" cut), then widen left to a whole-key boundary.
+            suffix = np.cumsum(w[::-1])[::-1]
+            i = int(np.searchsorted(-suffix, -float(target), side="left"))
+            if i >= n_in:
+                return {"lo": int_lo, "hi": hi, "count": 0, "slab": None}
+            while i > 0 and sorted_keys[i - 1] == sorted_keys[i]:
+                i -= 1
+            lo = int(sorted_keys[i])
+            move = in_interval & interval_mask(pkeys, lo, hi)
+        count = int(move.sum())
+        if count == 0:
+            return {"lo": lo, "hi": hi, "count": 0, "slab": None}
+        return {
+            "lo": lo,
+            "hi": hi,
+            "count": count,
+            "slab": self._encode_slab(rows[move], cols[move], vals[move]),
+        }
+
+    def _install_slab(self, slab) -> int:
+        """Apply a migrated slab to this shard's matrix and tracker.
+
+        The slab's coordinates were owned by the source, so under the
+        disjoint-ownership invariant none of them are stored here: the
+        update is a pure insert, and the incremental tracker observing it
+        is exactly the tracker state the slab carried on the source (for the
+        ``plus`` accumulator — the only one the tracker supports — a
+        coordinate's tracked contribution *is* its combined value).
+        Deliberately not counted into the ingest measurement counters.
+        """
+        rows, cols, vals = self._decode_slab(slab)
+        if rows.size:
+            self.matrix.update(rows, cols, vals)
+        self.slabs_in += 1
+        return int(rows.size)
+
+    def _discard_slab(self, payload) -> int:
+        """Drop the slab ``[lo, hi)`` and rebuild this shard without it.
+
+        Runs only after the coordinator confirmed the destination installed
+        its copy.  Deterministic: membership is recomputed with the same
+        shared :func:`partition_keys`, and no batch can have landed since
+        the extract (the single routing thread publishes no new batches
+        mid-migration), so exactly the extracted entries are removed.
+        """
+        move, rows, cols, vals = self._slab_triples(
+            payload["partition"], payload["lo"], payload["hi"]
+        )
+        count = int(move.sum())
+        if count:
+            keep = ~move
+            self.matrix.reset_from_triples(rows[keep], cols[keep], vals[keep])
+        self.slabs_out += 1
+        return count
 
     def report(self) -> WorkerReport:
         stats = self.matrix.stats

@@ -217,21 +217,31 @@ def build_triples(
     cols: np.ndarray,
     vals: np.ndarray,
     dup_op: Optional[BinaryOp] = None,
-) -> Triple:
+    *,
+    with_keys: bool = False,
+):
     """Sort raw triples and collapse duplicates in one fused kernel.
 
     Equivalent to ``collapse_duplicates(*sort_coo(rows, cols, vals), dup_op)``
     but packs the coordinates only once, so the streaming build/ingest path
     pays a single key construction for both stages.
+
+    With ``with_keys=True`` the return value is the 5-tuple ``(rows, cols,
+    vals, keys, spec)`` where ``keys`` are the packed sort keys of the
+    *output* triples under ``spec`` (``None``/``None`` on the lexsort
+    fallback or for trivial inputs).  Callers that immediately merge the
+    result — the layer-1 flush feeding :func:`union_merge` — hand the keys
+    onward so one flush packs its pending triples exactly once.
     """
     if rows.size <= 1:
-        return rows, cols, vals
+        return (rows, cols, vals, None, None) if with_keys else (rows, cols, vals)
     if dup_op is None:
         dup_op = binary.plus
     spec = coords.plan_pack((rows, cols))
     if spec is None:
         rows, cols, vals = _lexsort_coo(rows, cols, vals)
-        return collapse_duplicates(rows, cols, vals, dup_op)
+        out = collapse_duplicates(rows, cols, vals, dup_op)
+        return (*out, None, None) if with_keys else out
     keys = coords.pack(rows, cols, spec)
     if not np.all(keys[1:] > keys[:-1]):
         order = np.argsort(keys, kind="stable")
@@ -243,11 +253,21 @@ def build_triples(
     starts = _key_group_starts(keys)
     if starts.size == keys.size:  # duplicate-free
         if strictly_sorted:
-            return rows, cols, vals
+            return (rows, cols, vals, keys, spec) if with_keys else (rows, cols, vals)
         out_rows, out_cols = coords.unpack(keys, spec)
-        return out_rows, out_cols, vals
-    out_rows, out_cols = coords.unpack(keys[starts], spec)
-    return out_rows, out_cols, _reduce_groups(vals, starts, keys.size, dup_op)
+        return (
+            (out_rows, out_cols, vals, keys, spec)
+            if with_keys
+            else (out_rows, out_cols, vals)
+        )
+    out_keys = keys[starts]
+    out_rows, out_cols = coords.unpack(out_keys, spec)
+    out_vals = _reduce_groups(vals, starts, keys.size, dup_op)
+    return (
+        (out_rows, out_cols, out_vals, out_keys, spec)
+        if with_keys
+        else (out_rows, out_cols, out_vals)
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -287,12 +307,21 @@ def union_merge(
     b: Triple,
     op: Optional[BinaryOp] = None,
     out_dtype: Optional[np.dtype] = None,
+    *,
+    b_keys: Optional[np.ndarray] = None,
+    b_spec=None,
 ) -> Triple:
     """Element-wise union (``eWiseAdd``) of two sorted, duplicate-free COO sets.
 
     Coordinates present in only one operand copy through unchanged; matching
     coordinates are combined with ``op`` (default ``plus``).  The result is
     sorted and duplicate-free.
+
+    ``b_keys``/``b_spec`` optionally carry ``b``'s packed sort keys as
+    returned by :func:`build_triples(..., with_keys=True) <build_triples>`.
+    They are reused — skipping one key construction over ``b`` — whenever the
+    split planned over both operands matches ``b_spec``; a mismatching or
+    absent spec simply repacks, so the option is always safe.
     """
     if op is None:
         op = binary.plus
@@ -307,9 +336,12 @@ def union_merge(
 
     spec = coords.plan_pack((ra, ca), (rb, cb))
     if spec is not None:
-        keys, pos_a, pos_b = _merge_sorted_keys(
-            coords.pack(ra, ca, spec), coords.pack(rb, cb, spec)
+        kb = (
+            b_keys
+            if b_keys is not None and b_spec == spec
+            else coords.pack(rb, cb, spec)
         )
+        keys, pos_a, pos_b = _merge_sorted_keys(coords.pack(ra, ca, spec), kb)
         vals = np.empty(keys.size, dtype=out_dtype)
         vals[pos_a] = va.astype(out_dtype, copy=False)
         vals[pos_b] = vb.astype(out_dtype, copy=False)

@@ -44,6 +44,7 @@ __all__ = [
     "shape_split",
     "pack",
     "unpack",
+    "pack_calls",
     "packing_enabled",
     "set_packing_enabled",
     "packing_disabled",
@@ -172,6 +173,17 @@ def shape_split(nrows: int, ncols: int) -> Optional[PackedSpec]:
     return PackedSpec(_KEY_BITS - col_bits, col_bits)
 
 
+# Monotone counter of pack() invocations.  Purely observational: the kernel
+# benchmark asserts key-reuse levers (e.g. one _wait flush packing its pending
+# triples exactly once) by differencing this counter around the hot path.
+_PACK_CALLS = 0
+
+
+def pack_calls() -> int:
+    """Total :func:`pack` invocations so far (benchmark/test instrumentation)."""
+    return _PACK_CALLS
+
+
 def pack(rows: np.ndarray, cols: np.ndarray, spec: PackedSpec) -> np.ndarray:
     """Pack coordinate arrays into single ``uint64`` sort keys.
 
@@ -179,6 +191,8 @@ def pack(rows: np.ndarray, cols: np.ndarray, spec: PackedSpec) -> np.ndarray:
     out-of-range coordinates would silently alias, which is why every kernel
     plans before packing.
     """
+    global _PACK_CALLS
+    _PACK_CALLS += 1
     shift = np.uint64(spec.col_bits)
     return (rows.astype(KEY_DTYPE, copy=False) << shift) | cols.astype(
         KEY_DTYPE, copy=False

@@ -299,12 +299,19 @@ class Matrix:
         self._pend_vals.clear()
         self._pend_count = 0
         self._pend_op = None
-        pr, pc, pv = K.build_triples(pr, pc, pv, op)
+        # One flush packs its pending triples exactly once: build_triples
+        # hands the sorted keys (and their split) onward, and union_merge
+        # reuses them whenever the merge plans the same split — always true
+        # while stored and pending coordinates share the canonical 32/32
+        # plan, i.e. the whole IPv4 traffic-matrix hot path.
+        pr, pc, pv, pk, pspec = K.build_triples(pr, pc, pv, op, with_keys=True)
         self._rows, self._cols, self._vals = K.union_merge(
             (self._rows, self._cols, self._vals),
             (pr, pc, pv),
             op,
             out_dtype=self._dtype.np_type,
+            b_keys=pk,
+            b_spec=pspec,
         )
 
     def wait(self) -> "Matrix":

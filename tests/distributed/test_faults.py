@@ -172,6 +172,142 @@ class TestRaisingWorker:
                 sharded.update([2 ** 20], [1], [1.0])
 
 
+class TestMigrationFaults:
+    """A crash at any migration step leaves the old epoch fully consistent.
+
+    The rebalance protocol is copy -> install -> discard -> publish: until
+    the discard completes the source still holds the authoritative slab, and
+    the new map epoch is published only after all three worker steps
+    succeeded.  SIGKILLing the source mid-``extract_slab`` (or the
+    destination mid-``install_slab``) must therefore surface
+    :class:`WorkerCrash` with the map epoch unchanged and no coordinate
+    orphaned or double-owned under the still-installed map.
+    """
+
+    #: Skewed stream: every coordinate keys into shard 0's range slab, so the
+    #: auto policy always picks source=0, dest=1 — deterministic kill targets.
+    @staticmethod
+    def _loaded_matrix(transport, nshards=2):
+        sharded = ShardedHierarchicalMatrix(
+            nshards,
+            cuts=CUTS,
+            partition="range",
+            use_processes=True,
+            transport=transport,
+        )
+        rng = np.random.default_rng(31)
+        for _ in range(3):
+            sharded.update(
+                rng.integers(0, 2 ** 14, 400, dtype=np.uint64),
+                rng.integers(0, 2 ** 14, 400, dtype=np.uint64),
+                np.ones(400),
+            )
+        return sharded
+
+    @staticmethod
+    def _kill_on(pool, command, monkeypatch, worker_filter=None):
+        """SIGKILL the targeted worker the moment ``command`` is dispatched
+        to it — deterministically mid-command, while the parent awaits the
+        reply.  ``worker_filter`` restricts the kill to one worker index (so
+        a compensation command to another worker is not also shot down)."""
+        original_submit = pool.submit
+
+        def killing_submit(worker, cmd, payload=None):
+            original_submit(worker, cmd, payload)
+            if cmd == command and (worker_filter is None or worker == worker_filter):
+                pool.processes[worker].kill()
+
+        monkeypatch.setattr(pool, "submit", killing_submit)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kill_source_mid_extract(self, transport, monkeypatch):
+        with self._loaded_matrix(transport) as sharded:
+            epoch = sharded.map_epoch
+            dest_nnz = sharded._pool.request(1, "stats")["nnz"]
+            self._kill_on(sharded._pool, "extract_slab", monkeypatch)
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    sharded.rebalance()
+            assert sharded.map_epoch == epoch
+            # The destination never received anything: nothing double-owned.
+            assert sharded._pool.request(1, "stats")["nnz"] == dest_nnz
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kill_dest_mid_install(self, transport, monkeypatch):
+        with self._loaded_matrix(transport) as sharded:
+            epoch = sharded.map_epoch
+            source_nnz = sharded._pool.request(0, "stats")["nnz"]
+            self._kill_on(sharded._pool, "install_slab", monkeypatch)
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    sharded.rebalance()
+            assert sharded.map_epoch == epoch
+            # extract_slab only copied: the surviving source still owns the
+            # complete slab under the unchanged map — no coordinate orphaned.
+            assert sharded._pool.request(0, "stats")["nnz"] == source_nnz
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kill_source_mid_discard_is_compensated(self, transport, monkeypatch):
+        """Source dies after the install: the installed copy is rolled back
+        so the old map (slab -> dead source) stays the single-owner truth."""
+        with self._loaded_matrix(transport) as sharded:
+            epoch = sharded.map_epoch
+            dest_nnz = sharded._pool.request(1, "stats")["nnz"]
+            self._kill_on(sharded._pool, "discard_slab", monkeypatch, worker_filter=0)
+            with deadline(30):
+                with pytest.raises(WorkerCrash):
+                    sharded.rebalance()
+            assert sharded.map_epoch == epoch
+            # Compensation removed the installed copy from the live dest.
+            assert sharded._pool.request(1, "stats")["nnz"] == dest_nnz
+
+    def test_install_error_compensated_bit_identical(self, monkeypatch):
+        """A *raising* (surviving) destination rolls back to exact state.
+
+        In-process mode so the whole matrix remains readable afterwards: the
+        rebalance fails, the compensation discards the partial install, and
+        the full materialize is still bit-identical to the flat reference —
+        the strongest no-orphan/no-double-own statement available.
+        """
+        from repro.core import HierarchicalMatrix
+        from repro.distributed.worker import ShardState
+
+        rng = np.random.default_rng(41)
+        batches = [
+            (
+                rng.integers(0, 2 ** 14, 400, dtype=np.uint64),
+                rng.integers(0, 2 ** 14, 400, dtype=np.uint64),
+                np.ones(400),
+            )
+            for _ in range(3)
+        ]
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, partition="range") as sharded:
+            for rows, cols, vals in batches:
+                flat.update(rows, cols, vals)
+                sharded.update(rows, cols, vals)
+            dest_state = sharded._pool._states[1]
+            original_handle = ShardState.handle
+
+            def failing_handle(self, cmd, payload):
+                if cmd == "install_slab" and self is dest_state:
+                    raise RuntimeError("injected install failure")
+                return original_handle(self, cmd, payload)
+
+            monkeypatch.setattr(ShardState, "handle", failing_handle)
+            epoch = sharded.map_epoch
+            # The in-process pool re-raises the worker exception directly
+            # (process wires would wrap it as WorkerCrash, covered above).
+            with pytest.raises(RuntimeError, match="injected install failure"):
+                sharded.rebalance()
+            monkeypatch.setattr(ShardState, "handle", original_handle)
+            assert sharded.map_epoch == epoch
+            assert sharded.materialize().isequal(flat.materialize())
+            # ...and the next rebalance (no fault) succeeds cleanly.
+            assert sharded.rebalance() is not None
+            assert sharded.materialize().isequal(flat.materialize())
+
+
 class TestRingLiveness:
     @requires_shm
     def test_ring_closed_error_names_the_worker(self):

@@ -1,0 +1,198 @@
+"""Unit and property tests for the epoch-versioned partition map (PR 5).
+
+The map is the new ownership ground truth, so its invariants are pinned
+directly: the epoch-0 uniform map reproduces the closed-form PR-2 routing,
+``assign`` covers the keyspace with non-overlapping intervals at every epoch,
+and :func:`repro.distributed.partition.partition_keys` — the function the
+router *and* the workers share — is toggle-independent and consistent with
+routing, which is what keeps slab membership and routing from ever
+disagreeing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    PartitionMap,
+    ShardRouter,
+    partition_keys,
+    partition_keyspace,
+)
+from repro.distributed.partition import interval_mask
+from repro.graphblas import coords
+from repro.graphblas.errors import InvalidValue
+
+
+class TestPartitionMap:
+    def test_uniform_map_matches_closed_form_chunks(self):
+        keyspace = 1000
+        m = PartitionMap.uniform(4, keyspace)
+        chunk = -(-keyspace // 4)
+        pkeys = np.arange(keyspace, dtype=np.uint64)
+        expected = np.minimum(pkeys // np.uint64(chunk), 3).astype(np.int64)
+        assert np.array_equal(m.owner_of(pkeys), expected)
+        assert m.epoch == 0
+        assert m.interval_count == 4
+
+    def test_full_keyspace_is_representable(self):
+        m = PartitionMap.uniform(3, 2 ** 64)
+        top = np.array([0, 2 ** 63, 2 ** 64 - 1], dtype=np.uint64)
+        owners = m.owner_of(top)
+        assert owners[0] == 0 and owners[-1] == 2
+
+    def test_assign_moves_exactly_the_interval(self):
+        m = PartitionMap.uniform(2, 100)
+        m2 = m.assign(10, 30, 1)
+        assert m2.epoch == 1
+        pkeys = np.arange(100, dtype=np.uint64)
+        owners = m2.owner_of(pkeys)
+        assert (owners[10:30] == 1).all()
+        assert (owners[:10] == 0).all()
+        assert (owners[30:50] == 0).all()
+        assert (owners[50:] == 1).all()
+        # The original map is untouched (maps are immutable).
+        assert m.epoch == 0 and m.owner_of_point(15) == 0
+
+    def test_assign_coalesces_adjacent_intervals(self):
+        m = PartitionMap.uniform(2, 100)  # [0,50)->0, [50,100)->1
+        m2 = m.assign(40, 50, 1)          # extends shard 1's slab leftward
+        assert m2.interval_count == 2
+        assert m2.shard_intervals(1) == [(40, 100)]
+        m3 = m2.assign(0, 40, 1)          # everything owned by shard 1
+        assert m3.interval_count == 1
+        assert m3.shard_intervals(0) == []
+
+    def test_assign_validates(self):
+        m = PartitionMap.uniform(2, 100)
+        with pytest.raises(InvalidValue):
+            m.assign(30, 30, 1)
+        with pytest.raises(InvalidValue):
+            m.assign(0, 101, 1)
+        with pytest.raises(InvalidValue):
+            m.assign(0, 10, 2)
+
+    def test_intervals_partition_the_keyspace(self):
+        m = PartitionMap.uniform(3, 1000)
+        for lo, hi, shard in ((0, 100, 2), (500, 900, 0), (250, 750, 1)):
+            m = m.assign(lo, hi, shard)
+        spans = m.intervals()
+        assert spans[0][0] == 0 and spans[-1][1] == 1000
+        for (_, hi_a, _), (lo_b, _, _) in zip(spans, spans[1:]):
+            assert hi_a == lo_b
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        nshards=st.integers(2, 6),
+        moves=st.lists(
+            st.tuples(st.integers(0, 999), st.integers(1, 1000), st.integers(0, 5)),
+            max_size=8,
+        ),
+        probes=st.integers(1, 200),
+    )
+    def test_every_key_owned_by_exactly_one_shard(self, nshards, moves, probes):
+        """Any assign sequence keeps the map a total function onto shards."""
+        keyspace = 1000
+        m = PartitionMap.uniform(nshards, keyspace)
+        epoch = 0
+        for lo, hi, shard in moves:
+            if lo >= hi or shard >= nshards:
+                continue
+            m = m.assign(lo, hi, shard)
+            epoch += 1
+            assert m.epoch == epoch
+        pkeys = np.linspace(0, keyspace - 1, probes).astype(np.uint64)
+        owners = m.owner_of(pkeys)
+        assert ((owners >= 0) & (owners < nshards)).all()
+        # owner_of agrees with the interval listing.
+        for lo, hi, shard in m.intervals():
+            inside = pkeys[interval_mask(pkeys, lo, hi)]
+            if inside.size:
+                assert (m.owner_of(inside) == shard).all()
+
+
+class TestPartitionKeys:
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_toggle_independent(self, partition):
+        spec = coords.shape_split(2 ** 32, 2 ** 32)
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 2 ** 32, 300, dtype=np.uint64)
+        cols = rng.integers(0, 2 ** 32, 300, dtype=np.uint64)
+        on = partition_keys(rows, cols, partition, spec)
+        with coords.packing_disabled():
+            off = partition_keys(rows, cols, partition, spec)
+        assert np.array_equal(on, off)
+
+    def test_precomputed_keys_shortcut_agrees(self):
+        spec = coords.shape_split(2 ** 32, 2 ** 32)
+        rng = np.random.default_rng(5)
+        rows = rng.integers(0, 2 ** 32, 100, dtype=np.uint64)
+        cols = rng.integers(0, 2 ** 32, 100, dtype=np.uint64)
+        keys = coords.pack(rows, cols, spec)
+        for partition in ("hash", "range"):
+            assert np.array_equal(
+                partition_keys(rows, cols, partition, spec, keys=keys),
+                partition_keys(rows, cols, partition, spec),
+            )
+
+    def test_router_and_worker_agree_on_membership(self):
+        """The core no-disagreement invariant: for every stored coordinate,
+        the shard the router picks owns the partition key the worker would
+        compute — across partitions and engines."""
+        for partition in ("hash", "range"):
+            router = ShardRouter(4, nrows=2 ** 32, ncols=2 ** 32, partition=partition)
+            rng = np.random.default_rng(11)
+            rows = rng.integers(0, 2 ** 20, 2_000, dtype=np.uint64)
+            cols = rng.integers(0, 2 ** 20, 2_000, dtype=np.uint64)
+            shard = router.shard_of(rows, cols)
+            pkeys = partition_keys(rows, cols, partition, router.spec)
+            assert np.array_equal(router.map.owner_of(pkeys), shard)
+            # ...including after a migration.
+            lo, hi = router.map.shard_intervals(int(shard[0]))[0]
+            mid = lo + (hi - lo) // 2
+            router.install(router.map.assign(mid, hi, (int(shard[0]) + 1) % 4))
+            assert np.array_equal(
+                router.map.owner_of(pkeys), router.shard_of(rows, cols)
+            )
+
+    def test_keyspace_domains(self):
+        spec = coords.shape_split(2 ** 32, 2 ** 32)
+        assert partition_keyspace("hash", spec, 2 ** 32) == 2 ** 64
+        assert partition_keyspace("range", spec, 2 ** 32) == 2 ** 64
+        small = coords.shape_split(2 ** 10, 2 ** 10)
+        assert partition_keyspace("range", small, 2 ** 10) == 2 ** 10 << small.col_bits
+        assert partition_keyspace("range", None, 2 ** 33) == 2 ** 33
+
+    def test_interval_mask_full_keyspace_bound(self):
+        pkeys = np.array([0, 1, 2 ** 63, 2 ** 64 - 1], dtype=np.uint64)
+        assert interval_mask(pkeys, 0, 2 ** 64).all()
+        assert np.array_equal(
+            interval_mask(pkeys, 1, 2 ** 63), np.array([False, True, False, False])
+        )
+
+
+class TestRouterEpochs:
+    def test_install_rejects_stale_or_mismatched_maps(self):
+        router = ShardRouter(2, nrows=2 ** 32, ncols=2 ** 32, partition="range")
+        with pytest.raises(InvalidValue):
+            router.install(router.map)  # same epoch: stale
+        with pytest.raises(InvalidValue):
+            router.install(PartitionMap.uniform(3, router.keyspace))  # wrong shards
+        fresh = router.map.assign(0, 100, 1)
+        router.install(fresh)
+        assert router.epoch == 1
+
+    def test_epoch_zero_routing_unchanged_by_construction(self):
+        """A router that never rebalances routes like the closed-form PR-2
+        partition (the uniform map reproduces ceil-division slabs)."""
+        router = ShardRouter(4, nrows=2 ** 32, ncols=2 ** 32, partition="range")
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 2 ** 32, 1_000, dtype=np.uint64)
+        cols = rng.integers(0, 2 ** 32, 1_000, dtype=np.uint64)
+        keys = coords.pack(rows, cols, router.spec)
+        chunk = -(-router.keyspace // 4)
+        expected = np.minimum(keys // np.uint64(chunk), 3).astype(np.int64)
+        assert np.array_equal(router.shard_of(rows, cols), expected)

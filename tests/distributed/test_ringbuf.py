@@ -67,6 +67,68 @@ class TestFraming:
         assert out is not None and out[0].size == 0
         assert ring.batches_written == ring.batches_read == 1
 
+    def test_key_only_frame_roundtrip(self, ring):
+        """``bits=None`` publishes a key-only frame; pop hands back None."""
+        keys = np.arange(6, dtype=np.uint64)
+        assert ring.push(keys) == 1
+        out_keys, out_bits, flags = ring.pop()
+        assert out_bits is None
+        assert np.array_equal(out_keys, keys)
+        assert flags == 0
+        assert ring.pop() is None
+
+    def test_key_only_and_data_frames_interleave(self, ring):
+        """Key-only frames coexist with data frames and keep FIFO order."""
+        keys, bits = make_batch(0, 4)
+        ring.push(keys)
+        ring.push(keys, bits, flags=3)
+        ring.push(keys[:2])
+        first = ring.pop()
+        assert first[1] is None and np.array_equal(first[0], keys)
+        second = ring.pop()
+        assert np.array_equal(second[1], bits) and second[2] == 3
+        third = ring.pop()
+        assert third[1] is None and third[0].size == 2
+
+    def test_key_only_empty_frame(self, ring):
+        """A zero-length key-only frame still crosses as a frame."""
+        assert ring.push(np.empty(0, dtype=np.uint64), flags=1) == 1
+        out = ring.pop()
+        assert out[0].size == 0 and out[1] is None and out[2] == 1
+
+    def test_key_only_capacity_accounting_unchanged(self, ring):
+        """Key-only frames reserve the same slots (the copy is saved, not
+        the capacity — the ring is a pair of parallel arrays)."""
+        keys = np.arange(5, dtype=np.uint64)
+        before = ring.write_seq
+        ring.push(keys)
+        assert ring.write_seq - before == keys.size + 1
+
+    def test_key_only_split_and_wraparound(self, ring):
+        """Oversized key-only batches split; every sub-frame stays key-only."""
+        ring.push(*make_batch(0, 9))
+        ring.pop()  # advance past the seam
+        big = np.arange(40, dtype=np.uint64)
+        popped = []
+
+        def consume():
+            got = 0
+            while got < big.size:
+                frame = ring.pop()
+                if frame is None:
+                    time.sleep(0.001)
+                    continue
+                assert frame[1] is None
+                popped.append(frame[0])
+                got += frame[0].size
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        frames = ring.push(big, timeout=10)
+        consumer.join()
+        assert frames == len(popped) >= 3
+        assert np.array_equal(np.concatenate(popped), big)
+
     def test_mismatched_lengths_raise(self, ring):
         with pytest.raises(ValueError):
             ring.push(np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.uint64))

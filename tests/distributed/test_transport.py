@@ -134,6 +134,65 @@ def batches_strategy():
     return _batches()
 
 
+def run_rebalance_battery(
+    mode,
+    batches,
+    *,
+    nshards,
+    partition,
+    rebalance_after,
+    nrows=2 ** 32,
+    ncols=2 ** 32,
+):
+    """Feed ``batches`` with live rebalances interleaved mid-stream.
+
+    ``rebalance_after`` holds batch indices; after routing batch ``i`` a
+    ``rebalance()`` is attempted (auto policy).  The sharded matrix must end
+    bit-identical to the flat reference on every surface the plain battery
+    checks, and the map epoch must count exactly the completed migrations.
+    """
+    flat = flat_reference(batches, nrows, ncols)
+    flat_matrix = flat.materialize()
+    with ShardedHierarchicalMatrix(
+        nshards,
+        nrows,
+        ncols,
+        cuts=CUTS,
+        partition=partition,
+        **MODE_KWARGS[mode],
+    ) as sharded:
+        epoch0 = sharded.map_epoch
+        migrations = 0
+        for i, (rows, cols, vals) in enumerate(batches):
+            sharded.update(rows, cols, vals)
+            if i in rebalance_after and sharded.nshards > 1:
+                report = sharded.rebalance()
+                if report is not None:
+                    migrations += 1
+                    assert report.moved > 0
+                    assert report.epoch == epoch0 + migrations
+        assert sharded.map_epoch == epoch0 + migrations
+        assert sharded.materialize().isequal(flat_matrix)
+        seen = set()
+        for rows, cols, _ in batches[:2]:
+            for r, c in list(zip(rows.tolist(), cols.tolist()))[:10]:
+                if (r, c) in seen:
+                    continue
+                seen.add((r, c))
+                assert sharded.get(r, c) == flat.get(r, c)
+        assert sharded.reduce_rowwise("plus").isequal(flat_matrix.reduce_rowwise("plus"))
+        assert sharded.reduce_columnwise("plus").isequal(
+            flat_matrix.reduce_columnwise("plus")
+        )
+        inc = sharded.incremental
+        if inc.supported and inc.fan_supported:
+            assert inc.nnz() == flat_matrix.nvals
+            assert inc.total() == pytest.approx(float(flat_matrix.reduce_scalar("plus")))
+            assert inc.row_traffic().isequal(flat_matrix.reduce_rowwise("plus"))
+            assert inc.col_traffic().isequal(flat_matrix.reduce_columnwise("plus"))
+        return migrations
+
+
 class TestConformanceBattery:
     """The hypothesis-driven battery, one process-spawning config per example."""
 
@@ -211,6 +270,236 @@ class TestConformanceGrid:
         run_battery(
             mode, batches, nshards=2, partition="hash", nrows=2 ** 64, ncols=2 ** 64
         )
+
+
+class TestRebalanceConformance:
+    """Live slab migration must never be observable in results (PR 5).
+
+    A sharded matrix that rebalances mid-stream — any schedule, either
+    partition, every transport — must stay bit-identical to the flat
+    reference on materialize/get/reductions/incremental stats, because each
+    coordinate still lands on exactly one shard in stream order (migration
+    commands are barrier-ordered against in-flight batches, and the new map
+    epoch is published only after a slab has fully moved).
+    """
+
+    @mode_param()
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(
+        batches=batches_strategy(),
+        nshards=st.integers(2, 4),
+        partition=st.sampled_from(["hash", "range"]),
+        engine=st.sampled_from(["packed", "lexsort"]),
+        data=st.data(),
+    )
+    def test_bit_identical_across_random_rebalances(
+        self, mode, batches, nshards, partition, engine, data
+    ):
+        rebalance_after = set(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(batches) - 1), min_size=1, max_size=3
+                ),
+                label="rebalance_after",
+            )
+        )
+        with engine_context(engine):
+            run_rebalance_battery(
+                mode,
+                batches,
+                nshards=nshards,
+                partition=partition,
+                rebalance_after=rebalance_after,
+            )
+
+    @mode_param()
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_pinned_multi_rebalance_stream(self, mode, partition):
+        """Deterministic grid: several migrations over a busier stream."""
+        rng = np.random.default_rng(4321)
+        batches = [
+            (
+                rng.integers(0, 2 ** 18, 400, dtype=np.uint64),
+                rng.integers(0, 2 ** 18, 400, dtype=np.uint64),
+                rng.integers(1, 8, 400).astype(np.float64),
+            )
+            for _ in range(6)
+        ]
+        migrations = run_rebalance_battery(
+            mode,
+            batches,
+            nshards=3,
+            partition=partition,
+            rebalance_after={1, 3, 4},
+        )
+        assert migrations >= 1
+
+    def test_repeated_rebalance_converges_in_proc(self):
+        """The auto policy drives a skewed range partition toward balance."""
+        rng = np.random.default_rng(99)
+        # Rows < 2**12 with a 2**32-square shape: the uniform range map puts
+        # every key on shard 0 — the worst case the policy must fix.
+        with ShardedHierarchicalMatrix(4, cuts=CUTS, partition="range") as sharded:
+            for _ in range(5):
+                sharded.update(
+                    rng.integers(0, 2 ** 12, 500, dtype=np.uint64),
+                    rng.integers(0, 2 ** 12, 500, dtype=np.uint64),
+                    np.ones(500),
+                )
+            assert sharded.imbalance() == pytest.approx(4.0)
+            for _ in range(8):
+                if sharded.rebalance(threshold=1.3) is None:
+                    break
+            assert sharded.imbalance() < 2.0
+            assert sharded.map_epoch >= 2
+
+    def test_rebalance_noops(self):
+        """Single shard, balanced loads under threshold, empty source."""
+        with ShardedHierarchicalMatrix(1, cuts=CUTS) as single:
+            single.update([1, 2], [3, 4], 1.0)
+            assert single.rebalance() is None
+        with ShardedHierarchicalMatrix(2, cuts=CUTS) as empty:
+            assert empty.rebalance() is None
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, partition="hash") as sharded:
+            rng = np.random.default_rng(1)
+            sharded.update(
+                rng.integers(0, 2 ** 20, 2_000, dtype=np.uint64),
+                rng.integers(0, 2 ** 20, 2_000, dtype=np.uint64),
+                np.ones(2_000),
+            )
+            # Hash-partitioned uniform keys are already near-even: a high
+            # threshold must refuse to churn.
+            assert sharded.rebalance(threshold=1.5) is None
+            assert sharded.map_epoch == 0
+
+    def test_traffic_policy_moves_weight_not_whole_shards(self):
+        """Regression: by="traffic" targets are in traffic units, and the
+        slab cut weighs entries by |value| in the same units — a heavily
+        weighted shard must shed roughly half its excess, not its entire
+        contents (which would ping-pong forever)."""
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, partition="range") as sharded:
+            rows = np.arange(1_000, dtype=np.uint64)
+            sharded.update(rows, rows, np.full(1_000, 1000.0))
+            assert sharded.shard_loads("traffic") == [1_000_000.0, 0.0]
+            report = sharded.rebalance(by="traffic")
+            assert report is not None
+            loads = sharded.shard_loads("traffic")
+            # ~half the excess moved; both shards now hold real weight.
+            assert 0 < loads[0] and 0 < loads[1]
+            assert sharded._imbalance(loads) < 2.0
+            # Converges rather than oscillating the full dataset.
+            for _ in range(4):
+                if sharded.rebalance(by="traffic", threshold=1.2) is None:
+                    break
+            assert sharded.imbalance("traffic") <= 1.2
+            assert sharded.nvals == 1_000
+
+    def test_extract_slab_picks_interval_by_weight(self):
+        """Under the traffic policy the cut targets the *heaviest* owned
+        interval, not the most crowded one: a few huge-value entries must
+        outrank a crowd of light ones."""
+        from repro.distributed.worker import ShardState
+
+        state = ShardState(0, {"nrows": 2 ** 16, "ncols": 2 ** 16, "cuts": CUTS})
+        light = np.arange(500, dtype=np.uint64)  # 500 entries, weight 1 each
+        state.handle("ingest", (light, light, np.ones(500)))
+        heavy = np.arange(40_000, 40_010, dtype=np.uint64)  # 10 entries, 1e6 each
+        state.handle("ingest", (heavy, heavy, np.full(10, 1e6)))
+        spec = state.spec
+        key = lambda r: (int(r) << spec.col_bits) | int(r)
+        intervals = [(0, key(20_000)), (key(20_000), 2 ** 16 << spec.col_bits)]
+        reply = state.handle(
+            "extract_slab",
+            {
+                "partition": "range",
+                "intervals": intervals,
+                "target": 5e6,
+                "weight": "value",
+            },
+        )
+        # The slab comes from the heavy interval and carries ~target weight.
+        assert reply["lo"] >= key(20_000)
+        assert 1 <= reply["count"] <= 10
+        _, keys, bits = reply["slab"]
+        assert keys.size == reply["count"]
+
+    def test_manual_source_dest_and_validation(self):
+        from repro.graphblas.errors import InvalidValue
+
+        with ShardedHierarchicalMatrix(3, cuts=CUTS, partition="range") as sharded:
+            rng = np.random.default_rng(2)
+            sharded.update(
+                rng.integers(0, 2 ** 16, 1_000, dtype=np.uint64),
+                rng.integers(0, 2 ** 16, 1_000, dtype=np.uint64),
+                np.ones(1_000),
+            )
+            report = sharded.rebalance(source=0, dest=2)
+            assert report is not None and (report.source, report.dest) == (0, 2)
+            assert sharded.partition_map.shard_intervals(2)
+            with pytest.raises(InvalidValue):
+                sharded.rebalance(source=1, dest=1)
+            with pytest.raises(InvalidValue):
+                sharded.rebalance(fraction=0.0)
+            with pytest.raises(InvalidValue):
+                sharded.shard_loads(by="vibes")
+
+
+class TestKeyOnlyFrames:
+    """All-ones batches ship without value payloads, bit-identically."""
+
+    @mode_param()
+    def test_all_ones_streams_bit_identical(self, mode):
+        """Scalar-1 defaults and all-ones arrays match the flat reference."""
+        rng = np.random.default_rng(17)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, **MODE_KWARGS[mode]) as sharded:
+            for i in range(3):
+                rows = rng.integers(0, 2 ** 16, 200, dtype=np.uint64)
+                cols = rng.integers(0, 2 ** 16, 200, dtype=np.uint64)
+                for values in (1, np.ones(200), 2.5):
+                    flat.update(rows, cols, values)
+                    sharded.update(rows, cols, values)
+            assert sharded.materialize().isequal(flat.materialize())
+
+    @pytest.mark.skipif(not shm_supported(None), reason="shm unavailable")
+    def test_ones_batches_take_the_key_only_wire(self):
+        """The shm transport actually elides the value payload for ones."""
+        rng = np.random.default_rng(23)
+        rows = rng.integers(0, 2 ** 16, 100, dtype=np.uint64)
+        cols = rng.integers(0, 2 ** 16, 100, dtype=np.uint64)
+        with ShardedHierarchicalMatrix(
+            1, cuts=CUTS, use_processes=True, transport="shm"
+        ) as sharded:
+            transport = sharded._pool._transport
+            sharded.update(rows, cols)  # default scalar 1
+            assert transport.key_only_batches == 1
+            sharded.update(rows, cols, np.ones(100))  # all-ones array
+            assert transport.key_only_batches == 2
+            sharded.update(rows, cols, 2.0)  # not ones: full frame
+            sharded.update(rows, cols, np.full(100, 3.0))
+            assert transport.key_only_batches == 2
+            assert sharded.get(int(rows[0]), int(cols[0])) is not None
+
+    @pytest.mark.skipif(not shm_supported(None), reason="shm unavailable")
+    def test_integer_dtype_ones_elide_too(self):
+        """The ones test is dtype-aware: int64 shards elide exactly as fp64."""
+        rows = np.arange(50, dtype=np.uint64)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, "int64", cuts=CUTS)
+        with ShardedHierarchicalMatrix(
+            2, dtype="int64", cuts=CUTS, use_processes=True, transport="shm"
+        ) as sharded:
+            transport = sharded._pool._transport
+            flat.update(rows, rows, 1)
+            sharded.update(rows, rows, 1)
+            flat.update(rows, rows, np.ones(50, dtype=np.int64))
+            sharded.update(rows, rows, np.ones(50, dtype=np.int64))
+            # 2 ones-updates x (however many of the 2 shards each batch hit)
+            assert transport.key_only_batches >= 2
+            assert sharded.materialize().isequal(flat.materialize())
 
 
 class TestTransportSelection:

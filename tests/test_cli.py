@@ -126,6 +126,65 @@ class TestShardCLI:
         assert payload["stats"]["total_traffic"] == 5000.0
         assert len(payload["supernodes"]["top_sources"]) == 5
 
+    def test_manual_rebalance_migrates_once(self, capsys):
+        """--rebalance manual forces exactly one mid-stream migration."""
+        rc = main_shard(
+            ["--shards", "3", "--partition", "range", "--updates", "20000",
+             "--batch-size", "2000", "--cuts", "1000,10000", "--rebalance",
+             "manual", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_updates"] == 20000
+        reb = payload["rebalance"]
+        assert reb["mode"] == "manual"
+        assert len(reb["events"]) == 1
+        assert reb["map_epoch"] == 1
+        event = reb["events"][0]
+        assert event["moved"] > 0 and event["source"] != event["dest"]
+
+    def test_auto_rebalance_respects_threshold(self, capsys):
+        """A sky-high threshold means zero migrations; the run still reports."""
+        rc = main_shard(
+            ["--shards", "2", "--updates", "8000", "--batch-size", "2000",
+             "--cuts", "1000,10000", "--rebalance", "auto",
+             "--imbalance-threshold", "100", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rebalance"]["events"] == []
+        assert payload["rebalance"]["map_epoch"] == 0
+        assert payload["total_updates"] == 8000
+
+    def test_replay_manual_rebalance_uses_real_stream_length(self, tmp_path, capsys):
+        """Regression: --replay ignores --updates, so the manual midpoint
+        must be computed from the capture's real length (default --updates
+        would place it far past a short capture's last batch)."""
+        replay = tmp_path / "capture.tsv"
+        lines = [f"{i}\t{i % 97}\t1.0" for i in range(400)]
+        replay.write_text("\n".join(lines) + "\n")
+        rc = main_shard(
+            ["--shards", "2", "--partition", "range", "--replay", str(replay),
+             "--batch-size", "100", "--cuts", "1000,10000",
+             "--rebalance", "manual", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_updates"] == 400
+        assert len(payload["rebalance"]["events"]) == 1
+        assert payload["rebalance"]["map_epoch"] == 1
+
+    def test_rebalance_text_output(self, capsys):
+        rc = main_shard(
+            ["--shards", "2", "--partition", "range", "--updates", "8000",
+             "--batch-size", "2000", "--cuts", "1000,10000",
+             "--rebalance", "manual"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rebalance:             manual" in out
+        assert "final imbalance" in out
+
     def test_replay_file(self, tmp_path, capsys):
         replay = tmp_path / "capture.tsv"
         lines = [f"{i % 7}\t{i % 5}\t1.0" for i in range(100)]
