@@ -1,0 +1,171 @@
+"""Cluster serving sweep: measured multi-node socket rates vs the model.
+
+The paper's scaling study is modelled (we cannot rent 1,100 SuperCloud
+nodes), and until PR 7 the :class:`~repro.distributed.SuperCloudModel` was
+only ever fed rates measured from *forked* workers inside one process tree.
+The socket transport makes the model's unit of measurement real: each
+:class:`~repro.distributed.NodeAgent` is a "server node" hosting a fixed
+number of shard workers, exactly the paper's processes-per-node shape, so the
+sweep can compare the model's prediction against a genuinely multi-node
+measured aggregate on the same machine:
+
+* 1 and 2 local agents each host ``WORKERS_PER_AGENT`` workers; the same
+  externally routed stream shape (fixed updates per worker — weak scaling,
+  the paper's experimental shape) runs against every agent count.
+* The 1-agent run's mean per-worker rate seeds the model; the model's
+  zero-overhead prediction for ``n`` agents is compared with the measured
+  per-worker rate sum (the paper's aggregation) at ``n`` agents.
+* The same measured per-worker rate also seeds the paper-configuration
+  headline projection (31,000 instances / 1,100 nodes), connecting the local
+  socket measurement to the reproduction's Figure-2 machinery.
+
+All local agents share one machine's cores, so the measured-vs-predicted
+ratio quantifies how far shared-CPU contention (and the routing parent)
+bends the embarrassingly-parallel assumption — informational, not gated.
+Recorded as ``cluster_sweep.txt`` and the ``cluster`` section of
+``BENCH_kernels.json``; run with ``-k cluster``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.distributed import (
+    ClusterConfig,
+    ShardedHierarchicalMatrix,
+    SuperCloudModel,
+    spawn_local_agents,
+)
+from repro.workloads import paper_stream
+
+from .conftest import scaled, update_bench_json, write_report
+
+pytestmark = [
+    pytest.mark.bench,
+    pytest.mark.skipif(not hasattr(os, "fork"), reason="NodeAgent requires os.fork"),
+]
+
+AGENT_COUNTS = [1, 2]
+WORKERS_PER_AGENT = 2
+PER_WORKER = scaled(50_000, minimum=5_000)
+CUTS = [2 ** 15, 2 ** 18, 2 ** 21]
+
+
+def _run_cluster(nagents: int) -> dict:
+    """Stream PER_WORKER updates per worker through nagents local agents."""
+    nshards = nagents * WORKERS_PER_AGENT
+    total = PER_WORKER * nshards
+    batches = list(
+        paper_stream(total_entries=total, nbatches=max(total // 10_000, 1), seed=11)
+    )
+    with spawn_local_agents(nagents) as (addresses, _procs):
+        with ShardedHierarchicalMatrix(
+            nshards,
+            2 ** 32,
+            2 ** 32,
+            cuts=CUTS,
+            use_processes=True,
+            transport="socket",
+            nodes=addresses,
+        ) as matrix:
+            assert matrix.transport == "socket"
+            wall_start = time.perf_counter()
+            for b in batches:
+                matrix.update(b.rows, b.cols, b.values)
+            matrix.finalize()
+            wall = time.perf_counter() - wall_start
+            reports = matrix.reports()
+            nvals = matrix.materialize().nvals
+    worker_rates = [r.updates_per_second for r in reports]
+    total_updates = sum(r.total_updates for r in reports)
+    assert total_updates == total
+    return {
+        "agents": nagents,
+        "workers": nshards,
+        "total_updates": total_updates,
+        "wall_seconds": round(wall, 6),
+        "worker_rates": [round(r, 1) for r in worker_rates],
+        "rate_sum": round(sum(worker_rates), 1),
+        "rate_wall": round(total_updates / wall if wall > 0 else 0.0, 1),
+        "global_nvals": nvals,
+    }
+
+
+class TestClusterServing:
+    def test_cluster_sweep(self, benchmark, results_dir):
+        """Measured multi-agent aggregate vs the SuperCloud model's prediction."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        measured = {n: _run_cluster(n) for n in AGENT_COUNTS}
+
+        base = measured[AGENT_COUNTS[0]]
+        per_instance = base["rate_sum"] / base["workers"]
+        # The local topology with the overhead terms zeroed: the model then
+        # predicts the pure independent-instances sum, so any measured gap is
+        # attributable to sharing one machine rather than to the model shape.
+        local_model = SuperCloudModel(
+            ClusterConfig(
+                max_nodes=max(AGENT_COUNTS),
+                processes_per_node=WORKERS_PER_AGENT,
+                launch_overhead_seconds=0.0,
+                per_node_launch_seconds=0.0,
+                straggler_fraction=0.0,
+            )
+        )
+        sweep = []
+        for n in AGENT_COUNTS:
+            point = local_model.aggregate_rate(per_instance, n)
+            m = measured[n]
+            ratio = m["rate_sum"] / point.aggregate_rate if point.aggregate_rate else 0.0
+            sweep.append(
+                {**m, "predicted_rate": round(point.aggregate_rate, 1), "measured_over_predicted": round(ratio, 4)}
+            )
+        headline = SuperCloudModel().headline_projection(per_instance)
+
+        header = (
+            f"{'agents':>7} {'workers':>8} {'updates':>11} {'measured sum':>14} "
+            f"{'predicted':>14} {'meas/pred':>10} {'rate wall':>13}"
+        )
+        lines = [
+            "Cluster serving sweep: socket wire through local NodeAgents "
+            f"({WORKERS_PER_AGENT} workers per agent, {PER_WORKER:,} updates per worker)",
+            "",
+            header,
+            "-" * len(header),
+        ]
+        for m in sweep:
+            lines.append(
+                f"{m['agents']:>7} {m['workers']:>8} {m['total_updates']:>11,} "
+                f"{m['rate_sum']:>14,.0f} {m['predicted_rate']:>14,.0f} "
+                f"{m['measured_over_predicted']:>10.3f} {m['rate_wall']:>13,.0f}"
+            )
+        lines += [
+            "",
+            "predicted is the SuperCloud model seeded with the 1-agent mean",
+            "per-worker rate and all launch/straggler overheads zeroed — the",
+            "pure independent-instances sum.  meas/pred below 1.0 is the cost",
+            "of the agents sharing one machine's cores and routing parent.",
+            "",
+            "paper-configuration projection from the same measured rate:",
+            f"  {headline['instances']:,} instances on {headline['nodes']:,} nodes -> "
+            f"{headline['aggregate_rate']:.3e} updates/s "
+            f"({headline['ratio_to_paper']:.3f} of the paper's 75e9/s headline)",
+        ]
+        write_report(results_dir, "cluster_sweep", lines)
+        update_bench_json(
+            results_dir,
+            "cluster",
+            {
+                "workers_per_agent": WORKERS_PER_AGENT,
+                "per_worker_updates": PER_WORKER,
+                "cuts": CUTS,
+                "per_instance_rate": round(per_instance, 1),
+                "sweep": sweep,
+                "headline_projection": {
+                    k: (round(v, 4) if isinstance(v, float) else v)
+                    for k, v in headline.items()
+                },
+            },
+        )

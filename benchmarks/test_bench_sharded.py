@@ -10,12 +10,14 @@ the shard count two ways and records the trajectory into
   the single-clock wall rate is recorded alongside.
 * **weak scaling** — the stream grows with the shard count (fixed updates per
   shard), the paper's actual experimental shape.
-* **transport sweep (PR 4)** — the same fixed stream through process-backed
-  workers on each transport (``queue`` pickled FIFO queues vs ``shm``
-  shared-memory ring buffers), quantifying how much of the ``rate_wall`` vs
-  ``rate_sum`` gap was pickle/unpickle overhead.  Recorded into the
-  ``sharded`` section of ``BENCH_kernels.json`` and reported as
-  ``transport_sweep.txt`` (a CI artifact next to ``sharded_scaling.txt``).
+* **transport sweep (PR 4, socket added in PR 7)** — the same fixed stream
+  through process-backed workers on each transport (``queue`` pickled FIFO
+  queues vs ``shm`` shared-memory ring buffers vs ``socket`` TCP streams to
+  local :class:`~repro.distributed.NodeAgent` endpoints), quantifying how
+  much of the ``rate_wall`` vs ``rate_sum`` gap is pickle/unpickle and
+  kernel-boundary overhead.  Recorded into the ``sharded`` section of
+  ``BENCH_kernels.json`` and reported as ``transport_sweep.txt`` (a CI
+  artifact next to ``sharded_scaling.txt``).
 
 Shards run as real worker processes when the platform can fork (matching the
 serving configuration); a correctness gate asserts the sharded result stays
@@ -25,6 +27,7 @@ transport.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 
@@ -32,7 +35,7 @@ import numpy as np
 import pytest
 
 from repro.core import HierarchicalMatrix
-from repro.distributed import ShardedHierarchicalMatrix
+from repro.distributed import ShardedHierarchicalMatrix, spawn_local_agents
 from repro.workloads import paper_stream
 from repro.workloads.powerlaw import powerlaw_edges
 
@@ -41,7 +44,7 @@ from .conftest import scaled, update_bench_json, write_report
 pytestmark = pytest.mark.bench
 
 SHARD_COUNTS = [1, 2, 4]
-TRANSPORTS = ["queue", "shm"]
+TRANSPORTS = ["queue", "shm", "socket"]
 STRONG_TOTAL = scaled(200_000, minimum=20_000)
 WEAK_PER_SHARD = scaled(100_000, minimum=10_000)
 BATCH = max(STRONG_TOTAL // 20, 1_000)
@@ -75,6 +78,19 @@ def _skewed_batches(total: int, batch: int):
     return out
 
 
+@contextlib.contextmanager
+def _wire_kwargs(transport: str, nagents: int = 2):
+    """Transport kwargs, spinning up local NodeAgents for the socket wire."""
+    with contextlib.ExitStack() as stack:
+        kwargs = {"transport": transport}
+        if transport == "socket":
+            if not USE_PROCESSES:
+                pytest.skip("socket transport requires os.fork")
+            addresses, _procs = stack.enter_context(spawn_local_agents(nagents))
+            kwargs["nodes"] = addresses
+        yield kwargs
+
+
 def _run_sharded(
     nshards: int,
     total: int,
@@ -89,15 +105,18 @@ def _run_sharded(
         if force_processes is not None
         else USE_PROCESSES and nshards > 1
     )
-    matrix = ShardedHierarchicalMatrix(
-        nshards,
-        2 ** 32,
-        2 ** 32,
-        cuts=CUTS,
-        use_processes=use_processes,
-        transport=transport,
-    )
-    with matrix:
+    with contextlib.ExitStack() as stack:
+        wire_kwargs = stack.enter_context(_wire_kwargs(transport))
+        matrix = stack.enter_context(
+            ShardedHierarchicalMatrix(
+                nshards,
+                2 ** 32,
+                2 ** 32,
+                cuts=CUTS,
+                use_processes=use_processes,
+                **wire_kwargs,
+            )
+        )
         wire = matrix.transport  # the wire in force, not merely requested
         wall_start = time.perf_counter()
         for batch in batches:
@@ -128,12 +147,13 @@ class TestShardedScaling:
         flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
         for b in batches:
             flat.update(b.rows, b.cols, b.values)
-        with ShardedHierarchicalMatrix(
-            4, cuts=CUTS, use_processes=USE_PROCESSES, transport=transport
-        ) as sharded:
-            for b in batches:
-                sharded.update(b.rows, b.cols, b.values)
-            assert sharded.materialize().isequal(flat.materialize())
+        with _wire_kwargs(transport) as wire_kwargs:
+            with ShardedHierarchicalMatrix(
+                4, cuts=CUTS, use_processes=USE_PROCESSES, **wire_kwargs
+            ) as sharded:
+                for b in batches:
+                    sharded.update(b.rows, b.cols, b.values)
+                assert sharded.materialize().isequal(flat.materialize())
 
     @pytest.mark.parametrize("nshards", SHARD_COUNTS)
     def test_strong_scaling(self, benchmark, nshards):
@@ -182,16 +202,20 @@ class TestShardedScaling:
         batches = _skewed_batches(REB_TOTAL, BATCH)
         results = {}
         for label in ("static", "rebalanced"):
-            matrix = ShardedHierarchicalMatrix(
-                REB_SHARDS,
-                2 ** 32,
-                2 ** 32,
-                cuts=CUTS,
-                partition="range",
-                use_processes=USE_PROCESSES,
-                transport=transport,
-            )
-            with matrix:
+            stack = contextlib.ExitStack()
+            with stack:
+                wire_kwargs = stack.enter_context(_wire_kwargs(transport))
+                matrix = stack.enter_context(
+                    ShardedHierarchicalMatrix(
+                        REB_SHARDS,
+                        2 ** 32,
+                        2 ** 32,
+                        cuts=CUTS,
+                        partition="range",
+                        use_processes=USE_PROCESSES,
+                        **wire_kwargs,
+                    )
+                )
                 wire = matrix.transport
                 events = []
                 wall_start = time.perf_counter()

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Four commands mirror the paper's experiments and the serving architecture:
+Five commands mirror the paper's experiments and the serving architecture:
 
 * ``repro-ingest`` — measure the single-instance streaming update rate
   (Headline A: "over 1,000,000 updates per second in a single instance");
@@ -10,7 +10,10 @@ Four commands mirror the paper's experiments and the serving architecture:
   to the published reference curves);
 * ``repro-shard`` — shard one externally supplied stream (power-law edges,
   synthetic packet traffic, or a replayed triple file) across K worker shards
-  and report per-shard and aggregate rates plus the globally merged matrix.
+  and report per-shard and aggregate rates plus the globally merged matrix;
+* ``repro-node`` — host shard workers behind a listening TCP endpoint, the
+  agent half of multi-node serving (``repro-shard --transport socket
+  --nodes host:port,...`` is the router half).
 
 Every command prints plain aligned text so output can be diffed against
 ``EXPERIMENTS.md``.
@@ -48,7 +51,7 @@ from .workloads import (
     synthetic_packets,
 )
 
-__all__ = ["main_ingest", "main_scaling", "main_fig2", "main_shard"]
+__all__ = ["main_ingest", "main_scaling", "main_fig2", "main_shard", "main_node"]
 
 
 def _exact_stream(batches, total: int):
@@ -256,10 +259,21 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         help="back shards with long-lived worker processes (default: in-process)",
     )
     parser.add_argument(
-        "--transport", choices=["queue", "shm"], default="queue",
-        help="worker wire with --processes: pickled FIFO queues (default) or "
+        "--transport", choices=["queue", "shm", "socket"], default="queue",
+        help="worker wire with --processes: pickled FIFO queues (default), "
         "shared-memory ring buffers carrying packed uint64 batches (zero "
-        "pickling; falls back to queue for non-packable IPv6 shapes)",
+        "pickling; falls back to queue for non-packable IPv6 shapes), or "
+        "TCP connections to repro-node agents (requires --nodes)",
+    )
+    parser.add_argument(
+        "--nodes", metavar="HOST:PORT,...", default=None,
+        help="comma-separated repro-node agent endpoints for "
+        "--transport socket (implies --processes)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="replica workers per shard: ingest is mirrored so a dead "
+        "primary (or node) fails over with zero lost updates",
     )
     parser.add_argument(
         "--stats", action="store_true",
@@ -310,14 +324,23 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         )
         stream_updates = args.updates
 
+    nodes = None
+    if args.nodes is not None:
+        nodes = [part.strip() for part in args.nodes.split(",") if part.strip()]
+        if args.transport != "socket":
+            parser.error("--nodes requires --transport socket")
+    if args.transport == "socket" and nodes is None:
+        parser.error("--transport socket requires --nodes host:port,...")
     matrix = ShardedHierarchicalMatrix(
         args.shards,
         2 ** 32,
         2 ** 32,
         cuts=args.cuts,
         partition=args.partition,
-        use_processes=args.processes,
+        use_processes=args.processes or nodes is not None,
         transport=args.transport,
+        nodes=nodes,
+        replicas=args.replicas,
     )
     transport_in_force = matrix.transport
     expected_batches = max(-(-stream_updates // args.batch_size), 1)
@@ -456,6 +479,43 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{'source':>12} {'traffic':>12} {'fan-out':>8}")
             for ident, traffic, fan in supernodes["top_sources"]:
                 print(f"{ident:>12} {traffic:>12,.0f} {fan:>8}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-node
+# --------------------------------------------------------------------------- #
+
+
+def main_node(argv: Optional[Sequence[str]] = None) -> int:
+    """Host shard workers behind a listening endpoint (the agent half of
+    multi-node serving)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-node",
+        description="Listen for shard-worker connections from a repro-shard "
+        "router (--transport socket).  Each accepted connection forks one "
+        "worker process owning a private hierarchical matrix; the agent "
+        "serves until interrupted.",
+    )
+    parser.add_argument("--host", default="0.0.0.0", help="bind address (default all interfaces)")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default 0: pick a free port and print it)",
+    )
+    args = parser.parse_args(argv)
+
+    from .distributed.node import NodeAgent, format_address
+
+    agent = NodeAgent(host=args.host, port=args.port)
+    # The connect string routers pass via --nodes; printed first and flushed
+    # so wrappers that spawn agents can scrape the chosen port.
+    print(f"listening on {format_address(agent.address)}", flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        agent.close()
     return 0
 
 

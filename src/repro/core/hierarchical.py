@@ -228,6 +228,11 @@ class HierarchicalMatrix:
         return self._policy
 
     @property
+    def accum(self) -> BinaryOp:
+        """The accumulator combining duplicate coordinates (default ``plus``)."""
+        return self._accum
+
+    @property
     def incremental(self) -> IncrementalReductions:
         """Incremental reduction vectors maintained during ingest.
 

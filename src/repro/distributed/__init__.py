@@ -1,17 +1,25 @@
 """Distributed-scaling substrate: the SuperCloud model, the persistent shard
-worker pool and its pluggable transports (pickled queues or shared-memory
-ring buffers), the sharded hierarchical matrix, the local parallel ingest
-engine, and the Figure 2 table assembly."""
+worker pool and its pluggable transports (pickled queues, shared-memory ring
+buffers, or TCP sockets to :class:`~repro.distributed.node.NodeAgent`
+endpoints), the sharded hierarchical matrix with replica failover, the local
+parallel ingest engine, and the Figure 2 table assembly."""
 
 from .aggregate import DEFAULT_SERVER_COUNTS, Figure2Row, build_figure2_table, format_table
 from .engine import ParallelIngestEngine, ParallelIngestResult, ingest_worker
+from .node import (
+    NodeAgent,
+    RemoteWorkerHandle,
+    format_address,
+    parse_address,
+    spawn_local_agents,
+)
 from .partition import (
     PARTITION_NAMES,
     PartitionMap,
     partition_keys,
     partition_keyspace,
 )
-from .pool import ShardWorkerPool, WorkerCrash, WorkerReport, stream_powerlaw
+from .pool import ShardWorkerPool, WorkerCrash, WorkerDied, WorkerReport, stream_powerlaw
 from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, RingTimeout, ShmRing
 from .sharded import (
     RebalanceReport,
@@ -22,9 +30,11 @@ from .sharded import (
 from .supercloud import ClusterConfig, ScalingPoint, SuperCloudModel
 from .transport import (
     TRANSPORT_NAMES,
+    ProcessTransport,
     QueueTransport,
     ShardTransport,
     ShmRingTransport,
+    SocketTransport,
     ValueCodec,
     make_transport,
     shm_supported,
@@ -38,6 +48,7 @@ __all__ = [
     "ParallelIngestResult",
     "WorkerReport",
     "WorkerCrash",
+    "WorkerDied",
     "ingest_worker",
     "stream_powerlaw",
     "ShardWorkerPool",
@@ -50,12 +61,19 @@ __all__ = [
     "partition_keyspace",
     "PARTITION_NAMES",
     "ShardTransport",
+    "ProcessTransport",
     "QueueTransport",
     "ShmRingTransport",
+    "SocketTransport",
     "ValueCodec",
     "make_transport",
     "shm_supported",
     "TRANSPORT_NAMES",
+    "NodeAgent",
+    "RemoteWorkerHandle",
+    "spawn_local_agents",
+    "parse_address",
+    "format_address",
     "ShmRing",
     "RingClosed",
     "RingTimeout",

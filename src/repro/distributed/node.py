@@ -1,0 +1,391 @@
+"""Node agents: shard workers hosted behind a listening socket endpoint.
+
+Before this module the distributed stack had one topology — a routing parent
+that *forks* its own workers.  A :class:`NodeAgent` inverts that: it owns the
+worker lifecycle on its machine and exposes a ``host:port`` endpoint that any
+routing parent can *connect to*.  The parent's
+:class:`~repro.distributed.transport.SocketTransport` opens one TCP
+connection per worker slot; the agent forks a fresh worker child per
+connection, and from then on the connection *is* the worker's task queue,
+ingest wire, and reply channel in one — a single FIFO byte stream, which is
+what gives control commands the same barrier ordering against in-flight
+ingest batches that the shm ring provides with explicit barrier frames.
+
+Wire format (all little-endian; one 9-byte header per frame)::
+
+    header   <BQ>  frame type, payload byte length
+    HELLO         pickled {"slot": int, "matrix_kwargs": dict}   parent -> agent
+    HELLO_ACK     pickled {"pid": int}                           worker -> parent
+    DATA          n = len/16 uint64 packed keys, then n uint64 value bits
+    DATA_KEYONLY  n = len/8 uint64 packed keys (values = scalar 1)
+    DATA_PICKLED  pickled (rows, cols, values)  [IPv6 / wide-dtype fallback]
+    CONTROL       pickled (command, payload)
+    REPLY         pickled (status, value)
+
+Ingest frames carry the PR-1 packed ``uint64`` coordinate keys plus the
+:class:`~repro.distributed.ringbuf.ValueCodec` raw value bits — no pickle on
+the hot path, exactly the shm ring's payload, so the conformance battery's
+bit-identity argument transfers unchanged.  All-ones batches (the traffic
+workload) ship key-only.  Shapes that do not pack into 64 bits and value
+types wider than 8 bytes fall back to pickled ingest frames on the same
+connection, so the socket wire serves *every* shard configuration.
+
+Failure model: a worker child sets ``PR_SET_PDEATHSIG`` so a SIGKILLed agent
+takes all of its workers down with it, and a dead worker closes its
+connection — the parent observes EOF (reply path) or a send error (ingest
+path) instead of hanging.  The fault battery kills workers through
+:class:`RemoteWorkerHandle`, which wraps the HELLO_ACK pid in the
+``Process``-like surface (``kill`` / ``is_alive`` / ``join``) the existing
+tests already use; pid-based liveness is meaningful for the localhost agents
+the tests and benchmarks run — for genuinely remote nodes only the socket
+EOF signal applies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import socket
+import struct
+import time
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graphblas import coords
+from ..graphblas.types import lookup_dtype
+from .ringbuf import ValueCodec
+from .worker import CommandExecutor
+
+__all__ = [
+    "NodeAgent",
+    "RemoteWorkerHandle",
+    "spawn_local_agents",
+    "parse_address",
+    "format_address",
+]
+
+# Frame types of the socket wire (module docstring has the layout).
+F_HELLO = 1
+F_HELLO_ACK = 2
+F_DATA = 3
+F_DATA_KEYONLY = 4
+F_DATA_PICKLED = 5
+F_CONTROL = 6
+F_REPLY = 7
+
+_HEADER = struct.Struct("<BQ")
+
+#: Accept-loop tick: how often an idle agent reaps exited worker children.
+_ACCEPT_TICK_SECONDS = 0.2
+
+#: How long the agent waits for a connection's HELLO before dropping it.
+_HELLO_TIMEOUT_SECONDS = 10.0
+
+Address = Tuple[str, int]
+
+
+def parse_address(addr: Union[str, Address]) -> Address:
+    """Normalise ``"host:port"`` (or an ``(host, port)`` pair) to a pair."""
+    if isinstance(addr, str):
+        host, _, port = addr.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"expected 'host:port', got {addr!r}")
+        return host, int(port)
+    host, port = addr
+    return str(host), int(port)
+
+
+def format_address(addr: Union[str, Address]) -> str:
+    """The canonical ``host:port`` string of an address."""
+    host, port = parse_address(addr)
+    return f"{host}:{port}"
+
+
+# --------------------------------------------------------------------------- #
+# frame I/O
+# --------------------------------------------------------------------------- #
+
+
+def send_frame(sock: socket.socket, ftype: int, payload) -> None:
+    """Write one length-prefixed frame (header and payload in one send)."""
+    sock.sendall(_HEADER.pack(ftype, len(payload)) + bytes(payload))
+
+
+def send_pickled(sock: socket.socket, ftype: int, obj) -> None:
+    """Write one frame whose payload is the pickled ``obj``."""
+    send_frame(sock, ftype, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytearray]:
+    """Read exactly ``n`` bytes, or None on EOF at a frame boundary.
+
+    Returns a *writable* buffer so ingest arrays built on it need no second
+    copy.  EOF in the middle of a frame is still returned as None — the peer
+    died mid-send and the stream is unusable either way.
+    """
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        try:
+            r = sock.recv_into(view[got:], n - got)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return None
+        if r == 0:
+            return None
+        got += r
+    return buf
+
+
+def recv_frame(sock: socket.socket) -> Optional[Tuple[int, bytearray]]:
+    """Read one ``(frame type, payload)`` frame, or None when the peer is gone."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    ftype, length = _HEADER.unpack(bytes(header))
+    payload = _recv_exact(sock, int(length))
+    if payload is None:
+        return None
+    return int(ftype), payload
+
+
+# --------------------------------------------------------------------------- #
+# worker side: one forked child per accepted connection
+# --------------------------------------------------------------------------- #
+
+
+def _set_parent_death_signal() -> None:
+    """Arrange for SIGKILL when the agent (our parent) dies (Linux only).
+
+    This is what makes "SIGKILL the node" mean "the node's workers are gone
+    too" in the failover tests; on platforms without ``prctl`` the workers
+    instead exit on the EOF their connection sees when the routing parent
+    goes away.
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - fork implies unix
+        return
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGKILL)  # PR_SET_PDEATHSIG = 1
+    except Exception:  # pragma: no cover - non-Linux libc
+        pass
+
+
+class _SocketReplyChannel:
+    """Adapter giving a connection the ``.put((status, value))`` surface the
+    :class:`~repro.distributed.worker.CommandExecutor` reply protocol wants."""
+
+    def __init__(self, conn: socket.socket) -> None:
+        self._conn = conn
+
+    def put(self, item) -> None:
+        send_pickled(self._conn, F_REPLY, item)
+
+
+def _serve_connection(conn: socket.socket, slot: int, matrix_kwargs) -> None:
+    """Worker-child loop: one connection is task queue, wire, and replies.
+
+    Frames are handled strictly in arrival order, so every control command is
+    automatically a barrier against the ingest frames sent before it — the
+    property the conformance battery pins for every transport.
+    """
+    _set_parent_death_signal()
+    executor = CommandExecutor(slot, matrix_kwargs, _SocketReplyChannel(conn))
+    kwargs = dict(matrix_kwargs or {})
+    spec = coords.shape_split(
+        int(kwargs.get("nrows", 2 ** 32)), int(kwargs.get("ncols", 2 ** 32))
+    )
+    np_type = lookup_dtype(kwargs.get("dtype", "fp64")).np_type
+    codec = ValueCodec(np_type) if np_type.itemsize <= 8 else None
+    send_pickled(conn, F_HELLO_ACK, {"pid": os.getpid()})
+    while True:
+        frame = recv_frame(conn)
+        if frame is None:
+            break  # routing parent is gone; nothing left to serve
+        ftype, payload = frame
+        if ftype == F_DATA:
+            n = len(payload) // 16
+            keys = np.frombuffer(payload, dtype=np.uint64, count=n)
+            bits = np.frombuffer(payload, dtype=np.uint64, count=n, offset=8 * n)
+            executor.ingest(lambda: (*coords.unpack(keys, spec), codec.decode(bits)))
+        elif ftype == F_DATA_KEYONLY:
+            keys = np.frombuffer(payload, dtype=np.uint64)
+            # The producer proved every value's bit pattern equals scalar 1
+            # in the shard dtype; the scalar broadcast in update() rebuilds
+            # the identical array (same argument as the shm key-only frame).
+            executor.ingest(lambda: (*coords.unpack(keys, spec), 1))
+        elif ftype == F_DATA_PICKLED:
+            executor.ingest(lambda: pickle.loads(bytes(payload)))
+        elif ftype == F_CONTROL:
+            cmd, cmd_payload = pickle.loads(bytes(payload))
+            if cmd == "stop":
+                break
+            executor.execute(cmd, cmd_payload)
+        # Unknown frame types are ignored (forward compatibility).
+    with contextlib.suppress(OSError):
+        conn.shutdown(socket.SHUT_RDWR)
+    conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# the agent
+# --------------------------------------------------------------------------- #
+
+
+class NodeAgent:
+    """Hosts shard workers behind a listening TCP endpoint.
+
+    The socket is bound (and the final port chosen) in the constructor, so a
+    caller can fork the serve loop into a separate process and already know
+    the address to hand to connecting transports.  Each accepted connection
+    carries one HELLO, gets one freshly forked worker child, and is then
+    served entirely by that child; the agent itself only accepts and reaps.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 64):
+        if not hasattr(os, "fork"):
+            raise RuntimeError("NodeAgent requires a platform with os.fork")
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, int(port)))
+        self._sock.listen(backlog)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._children: set = set()
+
+    @property
+    def address(self) -> Address:
+        """The bound ``(host, port)`` endpoint."""
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Accept connections until the listening socket is closed."""
+        self._sock.settimeout(_ACCEPT_TICK_SECONDS)
+        while True:
+            self._reap_children()
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listening socket closed: shut down
+            self._spawn_worker(conn)
+
+    def _spawn_worker(self, conn: socket.socket) -> None:
+        conn.settimeout(_HELLO_TIMEOUT_SECONDS)
+        try:
+            frame = recv_frame(conn)
+        except socket.timeout:  # pragma: no cover - defensive
+            frame = None
+        if frame is None or frame[0] != F_HELLO:
+            conn.close()
+            return
+        hello = pickle.loads(bytes(frame[1]))
+        pid = os.fork()
+        if pid == 0:
+            # Worker child: drop the listener, serve this connection forever.
+            try:
+                self._sock.close()
+                conn.settimeout(None)
+                _serve_connection(
+                    conn, int(hello.get("slot", 0)), hello.get("matrix_kwargs")
+                )
+            finally:
+                os._exit(0)
+        self._children.add(pid)
+        conn.close()
+
+    def _reap_children(self) -> None:
+        for pid in list(self._children):
+            try:
+                done, _ = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                done = pid
+            if done:
+                self._children.discard(pid)
+
+    def close(self) -> None:
+        """Stop accepting (the serve loop exits at its next tick)."""
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+
+class RemoteWorkerHandle:
+    """``multiprocessing.Process``-like view of an agent-hosted worker.
+
+    Built from the pid in the worker's HELLO_ACK.  Gives the fault-injection
+    suite the exact surface it already uses against forked workers —
+    ``kill()`` / ``is_alive()`` / ``join()`` — valid whenever the agent runs
+    on this machine (the localhost topology every test uses).
+    """
+
+    def __init__(self, pid: int) -> None:
+        self.pid = int(pid)
+
+    def is_alive(self) -> bool:
+        try:
+            os.kill(self.pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - exists, not ours
+            return True
+        # Signal 0 succeeds on zombies too; poll the proc state so a worker
+        # the agent has not yet reaped still reads as dead.
+        try:
+            with open(f"/proc/{self.pid}/stat", "rb") as fh:
+                return fh.read().rsplit(b")", 1)[-1].split()[0:1] != [b"Z"]
+        except OSError:
+            return True
+
+    def kill(self) -> None:
+        with contextlib.suppress(ProcessLookupError):
+            os.kill(self.pid, signal.SIGKILL)
+
+    terminate = kill
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.is_alive():
+            if deadline is not None and time.monotonic() > deadline:
+                return
+            time.sleep(0.01)
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        """None while alive; the true code belongs to the agent that reaps."""
+        return None if self.is_alive() else -signal.SIGKILL
+
+
+@contextlib.contextmanager
+def spawn_local_agents(
+    n: int, *, host: str = "127.0.0.1"
+) -> Iterator[Tuple[List[Address], List[mp.Process]]]:
+    """Run ``n`` NodeAgents as local processes; yield (addresses, processes).
+
+    The agents' listening sockets are bound *before* the serve loops fork, so
+    the yielded addresses are immediately connectable.  The process handles
+    are exposed so fault tests can SIGKILL an agent (taking its workers with
+    it via the parent-death signal); remaining agents are terminated on exit.
+    """
+    ctx = mp.get_context("fork")
+    agents = [NodeAgent(host) for _ in range(n)]
+    procs = [ctx.Process(target=a.serve_forever, daemon=True) for a in agents]
+    try:
+        for p in procs:
+            p.start()
+        # The children inherited the bound sockets; drop the parent copies.
+        for a in agents:
+            a.close()
+        yield [a.address for a in agents], procs
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5)
+            if p.is_alive():  # pragma: no cover - defensive
+                p.kill()

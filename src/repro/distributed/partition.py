@@ -304,6 +304,23 @@ class PartitionMap:
             epoch=self._epoch + 1,
         )
 
+    def advance(self) -> "PartitionMap":
+        """A new map with identical intervals and ``epoch + 1``.
+
+        Failover promotion changes no interval ownership — the promoted
+        replica answers for exactly the slabs its dead primary owned — but
+        :meth:`ShardRouter.install` (correctly) refuses to re-install the
+        current epoch, so promotion publishes this fence instead: same
+        geometry, new version.
+        """
+        return PartitionMap(
+            self._nshards,
+            self._keyspace,
+            interior=self._interior,
+            owners=self._owners,
+            epoch=self._epoch + 1,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<PartitionMap epoch={self._epoch} shards={self._nshards} "

@@ -45,13 +45,26 @@ How commands travel is the transport's business
 everything over per-worker pickled FIFO queues; the ``shm`` wire moves ingest
 batches through per-worker shared-memory ring buffers as packed ``uint64``
 keys + raw value bits (zero pickling on the hot path) with a watermarked
-control side-channel.  Either way the ordering contract is identical — a
-reply-bearing command acts as a barrier for every ``ingest`` submitted before
-it — and worker-side exceptions are re-raised in the parent as
-:class:`WorkerCrash` at the next reply instead of deadlocking; a worker that
-*dies* is detected by liveness polling.  The conformance suite
-(``tests/distributed/test_transport.py``) asserts every transport yields
-bit-identical results.
+control side-channel; the ``socket`` wire (PR 7) connects to workers hosted
+by :class:`~repro.distributed.node.NodeAgent` endpoints.  Either way the
+ordering contract is identical — a reply-bearing command acts as a barrier
+for every ``ingest`` submitted before it — and worker-side exceptions are
+re-raised in the parent as :class:`WorkerCrash` at the next reply instead of
+deadlocking; a worker that *dies* is detected by liveness polling (or stream
+EOF).  The conformance suite (``tests/distributed/test_transport.py``)
+asserts every transport yields bit-identical results.
+
+Replication (PR 7): with ``replicas=r`` the pool provisions ``(1 + r)``
+worker slots per shard.  Every ingest batch is *mirrored* to the shard's
+replica slots unconditionally — before any primary failure is even
+detectable — which is the whole zero-lost-updates argument: when a primary
+dies, every batch it ever received (and any it may have missed while dying)
+already sits in a replica, so :meth:`promote` simply redirects the shard to
+that replica without replaying anything.  Control commands that *read* go to
+the primary only; state-mutating commands (``install_slab`` /
+``discard_slab`` / ``clear``) go through :meth:`request_mirrored` so replica
+content tracks the primary exactly.  Replica slots never answer queries
+while a primary is alive, so mirroring adds no read-path cost.
 """
 
 from __future__ import annotations
@@ -65,11 +78,18 @@ from .worker import (
     REPLY_COMMANDS,
     ShardState,
     WorkerCrash,
+    WorkerDied,
     WorkerReport,
     stream_powerlaw,
 )
 
-__all__ = ["WorkerReport", "WorkerCrash", "ShardWorkerPool", "stream_powerlaw"]
+__all__ = [
+    "WorkerReport",
+    "WorkerCrash",
+    "WorkerDied",
+    "ShardWorkerPool",
+    "stream_powerlaw",
+]
 
 
 class ShardWorkerPool:
@@ -91,14 +111,25 @@ class ShardWorkerPool:
         is what unit tests and the bit-identity property suite use.
     transport:
         Wire between the parent and process-backed workers: ``"queue"``
-        (default; pickled FIFO queues) or ``"shm"`` (shared-memory ring
+        (default; pickled FIFO queues), ``"shm"`` (shared-memory ring
         buffers for ingest batches; falls back to ``queue`` for
         configurations the ring cannot carry bit-exactly, e.g. full 64-bit
-        IPv6 shapes).  Ignored when ``use_processes=False``.
+        IPv6 shapes), or ``"socket"`` (TCP connections to
+        :class:`~repro.distributed.node.NodeAgent` endpoints; requires
+        ``nodes``).  Ignored when ``use_processes=False``.
     ring_slots:
         Ring capacity per worker for the ``shm`` transport (slots of one
         coordinate key + one value each); default
         :data:`~repro.distributed.ringbuf.DEFAULT_RING_SLOTS`.
+    replicas:
+        Replica workers per shard (default 0).  Each shard gets ``1 +
+        replicas`` worker slots; ingest is mirrored to every replica and a
+        dead primary can be :meth:`promote`-d without data loss.
+    nodes:
+        Agent endpoints for the ``socket`` transport (``"host:port"``
+        strings or ``(host, port)`` pairs).  Slots are placed so a shard's
+        primary and its replicas always land on *different* nodes (when
+        there are at least two), making node death survivable.
 
     Examples
     --------
@@ -119,29 +150,61 @@ class ShardWorkerPool:
         use_processes: bool = True,
         transport: str = "queue",
         ring_slots: Optional[int] = None,
+        replicas: int = 0,
+        nodes: Optional[list] = None,
     ):
         self.nworkers = int(nworkers)
         if self.nworkers < 1:
             raise ValueError("nworkers must be >= 1")
+        self.replicas = int(replicas)
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
         self._matrix_kwargs = dict(matrix_kwargs or {})
         self.use_processes = bool(use_processes)
         self._closed = False
+        # Slot layout: replica r of shard s is slot r*K + s (r = 0 is the
+        # initial primary), so with replicas=0 slot indices equal shard
+        # indices and nothing about the pre-replication surface changes.
+        nslots = self.nworkers * (1 + self.replicas)
+        self._primary = list(range(self.nworkers))
+        self._replicas_of = {
+            s: [r * self.nworkers + s for r in range(1, 1 + self.replicas)]
+            for s in range(self.nworkers)
+        }
+        self._dead: set = set()
         if self.use_processes:
+            placement = None
+            if nodes:
+                # Stagger replicas across nodes: slot r*K + s lands on node
+                # (s + r) % N, so a shard's primary and replica share a node
+                # only when there is a single node.  (Plain slot % N would
+                # co-locate them whenever K % N == 0 — e.g. 2 shards on 2
+                # nodes — defeating node-kill failover.)
+                n = len(nodes)
+                placement = [
+                    (s + r) % n
+                    for r in range(1 + self.replicas)
+                    for s in range(self.nworkers)
+                ]
             self._transport = make_transport(
-                transport, self.nworkers, self._matrix_kwargs, ring_slots=ring_slots
+                transport,
+                nslots,
+                self._matrix_kwargs,
+                ring_slots=ring_slots,
+                nodes=nodes,
+                placement=placement,
             )
             self._states = None
             self._pending = None
         else:
             self._transport = None
-            self._states = [
-                ShardState(w, self._matrix_kwargs) for w in range(self.nworkers)
-            ]
-            self._pending = [deque() for _ in range(self.nworkers)]
+            self._states = [ShardState(w, self._matrix_kwargs) for w in range(nslots)]
+            self._pending = [deque() for _ in range(nslots)]
 
     @property
     def transport_name(self) -> str:
-        """Wire actually in force: ``"inproc"``, ``"queue"``, or ``"shm"``.
+        """Wire actually in force: ``"inproc"``, ``"queue"``, ``"shm"``, or
+        ``"socket"``.
 
         May differ from the requested transport when ``shm`` fell back to
         ``queue`` for a non-packable configuration.
@@ -149,9 +212,87 @@ class ShardWorkerPool:
         return self._transport.name if self._transport is not None else "inproc"
 
     @property
+    def nslots(self) -> int:
+        """Total worker slots (``nworkers * (1 + replicas)``)."""
+        return self.nworkers * (1 + self.replicas)
+
+    @property
     def processes(self) -> list:
-        """Worker processes (empty in-process); fault tests kill these."""
+        """Worker processes/handles per slot (empty in-process); fault tests
+        kill these.  With ``replicas=0`` slot indices equal shard indices."""
         return self._transport.processes if self._transport is not None else []
+
+    # -- replica topology ------------------------------------------------- #
+
+    def primary_slot(self, shard: int) -> int:
+        """The slot currently serving ``shard`` (changes on :meth:`promote`)."""
+        return self._primary[shard]
+
+    def replica_slots(self, shard: int) -> list:
+        """Live replica slots currently mirroring ``shard``."""
+        return list(self._replicas_of[shard])
+
+    def _slot_alive(self, slot: int) -> bool:
+        if self._transport is None:
+            return True  # in-process states cannot die
+        if slot in self._dead:
+            return False
+        return self._transport.worker_alive(slot)
+
+    def shard_alive(self, shard: int) -> bool:
+        """Whether the shard's *primary* worker is still running.
+
+        The failover path uses this to distinguish a worker that raised (it
+        survives and keeps serving — no failover) from one that died.
+        """
+        return self._slot_alive(self._primary[shard])
+
+    def has_live_replica(self, shard: int) -> bool:
+        """Whether at least one live replica could take over ``shard``."""
+        return any(self._slot_alive(s) for s in self._replicas_of[shard])
+
+    def _mark_replica_dead(self, shard: int, slot: int) -> None:
+        self._dead.add(slot)
+        if slot in self._replicas_of[shard]:
+            self._replicas_of[shard].remove(slot)
+
+    def _slot_answers(self, slot: int) -> bool:
+        """Round-trip a cheap reply-bearing command to ``slot``.
+
+        A pid poll is not a liveness proof at failover time: when a whole
+        node dies, its workers die *with* it a beat later, so a replica on
+        the same dying node can still read alive while its wire is already
+        gone.  Only a completed round-trip proves the slot can serve.
+        """
+        if self._transport is None:
+            return True  # in-process states cannot die
+        try:
+            self._submit_slot(slot, "stats")
+            status, _ = self._recv_slot(slot)
+        except WorkerCrash:
+            return False
+        return status == "ok"
+
+    def promote(self, shard: int) -> int:
+        """Redirect ``shard`` to a live replica; returns the new primary slot.
+
+        The dead primary is retired from the shard's slot set.  Each
+        candidate replica is verified with a real round-trip (see
+        :meth:`_slot_answers`) before it is promoted.  Raises
+        :class:`WorkerCrash` when no live replica exists — the caller leaves
+        the routing epoch untouched in that case.
+        """
+        old = self._primary[shard]
+        self._dead.add(old)
+        for slot in list(self._replicas_of[shard]):
+            if self._slot_alive(slot) and self._slot_answers(slot):
+                self._replicas_of[shard].remove(slot)
+                self._primary[shard] = slot
+                return slot
+            self._mark_replica_dead(shard, slot)
+        raise WorkerCrash(
+            f"shard {shard} lost its primary (slot {old}) and has no live replica"
+        )
 
     # -- dispatch -------------------------------------------------------- #
 
@@ -177,43 +318,78 @@ class ShardWorkerPool:
         if cmd == "ingest":
             rows, cols, values = payload
             self.submit_ingest(worker, rows, cols, values)
-        elif self._transport is not None:
-            self._transport.send_control(worker, cmd, payload)
         else:
-            result = self._states[worker].handle(cmd, payload)
+            self._submit_slot(self._primary[worker], cmd, payload)
+
+    def _submit_slot(self, slot: int, cmd: str, payload=None) -> None:
+        """Dispatch a control command to one concrete slot (replica-aware
+        callers address replicas directly; :meth:`submit` maps shard ->
+        primary)."""
+        if self._transport is not None:
+            self._transport.send_control(slot, cmd, payload)
+        else:
+            result = self._states[slot].handle(cmd, payload)
             if cmd in REPLY_COMMANDS:
-                self._pending[worker].append(("ok", result))
+                self._pending[slot].append(("ok", result))
 
     def submit_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
         """Fire-and-forget one ingest batch (the streaming hot path).
 
         ``keys`` optionally carries the coordinates already packed under the
         shape's 64-bit split (what :meth:`ShardRouter.route
-        <repro.distributed.sharded.ShardRouter.route>` returns); the shm
-        transport ships them as-is instead of packing a second time.  Other
-        wires ignore it.
+        <repro.distributed.sharded.ShardRouter.route>` returns); the shm and
+        socket transports ship them as-is instead of packing a second time.
+        Other wires ignore it.
+
+        With replicas the batch is *always* mirrored to every live replica
+        slot — including when the primary send fails — so a later promotion
+        never needs a resend: the primary's failure is re-raised only after
+        the mirrors went out.  A failing replica is retired silently (it can
+        be resynchronised later); it never fails the stream.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        primary_exc = None
         if self._transport is not None:
-            self._transport.send_ingest(worker, rows, cols, values, keys=keys)
+            try:
+                self._transport.send_ingest(
+                    self._primary[worker], rows, cols, values, keys=keys
+                )
+            except WorkerCrash as exc:
+                primary_exc = exc
         else:
-            self._states[worker].handle("ingest", (rows, cols, values))
+            self._states[self._primary[worker]].handle(
+                "ingest", (rows, cols, values)
+            )
+        for slot in list(self._replicas_of[worker]):
+            try:
+                if self._transport is not None:
+                    self._transport.send_ingest(slot, rows, cols, values, keys=keys)
+                else:
+                    self._states[slot].handle("ingest", (rows, cols, values))
+            except WorkerCrash:
+                self._mark_replica_dead(worker, slot)
+        if primary_exc is not None:
+            raise primary_exc
 
     def collect(self, worker: int):
-        """Block for the next reply from ``worker`` (FIFO per worker).
+        """Block for the next reply from ``worker``'s primary (FIFO per slot).
 
         Raises :class:`WorkerCrash` when the worker's command failed or the
         worker process died; a worker that merely raised survives and keeps
         serving subsequent commands.
         """
-        if self._transport is not None:
-            status, value = self._transport.recv_reply(worker)
-        else:
-            status, value = self._pending[worker].popleft()
+        status, value = self._recv_slot(self._primary[worker])
+        if status == "died":
+            raise WorkerDied(f"shard worker {worker} failed:\n{value}")
         if status == "error":
             raise WorkerCrash(f"shard worker {worker} failed:\n{value}")
         return value
+
+    def _recv_slot(self, slot: int):
+        if self._transport is not None:
+            return self._transport.recv_reply(slot)
+        return self._pending[slot].popleft()
 
     def request(self, worker: int, cmd: str, payload=None):
         """Submit one reply-bearing command to ``worker`` and wait for its result."""
@@ -229,6 +405,64 @@ class ShardWorkerPool:
         for w in range(self.nworkers):
             self.submit(w, cmd, payload)
         return [self.collect(w) for w in range(self.nworkers)]
+
+    def request_mirrored(self, shard: int, cmd: str, payload=None):
+        """A reply-bearing *state-mutating* command, applied to the primary
+        and every live replica of ``shard``; returns the primary's result.
+
+        Migration installs/discards and ``clear`` go through here so replica
+        content stays an exact mirror of the primary.  A replica that fails
+        the command (raised or died) is retired — a replica whose state can
+        no longer be trusted must never be promoted — while the primary's
+        failure propagates as :class:`WorkerCrash` exactly like
+        :meth:`request`.  The primary is addressed through the public
+        :meth:`submit`/:meth:`collect` path, preserving their semantics
+        (and their fault-injection hooks).
+        """
+        replica_slots = list(self._replicas_of[shard])
+        self.submit(shard, cmd, payload)
+        for slot in replica_slots:
+            self._submit_slot(slot, cmd, payload)
+        try:
+            return self.collect(shard)
+        finally:
+            # Replica replies are drained even when the primary failed:
+            # leaving them queued would desynchronise every later reply.
+            for slot in replica_slots:
+                status, _ = self._recv_slot(slot)
+                if status != "ok":
+                    self._mark_replica_dead(shard, slot)
+
+    def resync_replica(self, shard: int) -> Optional[int]:
+        """Respawn one retired slot of ``shard`` and catch it up; returns the
+        slot re-registered as a replica (None when nothing needed resyncing).
+
+        The replacement starts empty, restores the primary's
+        ``checkpoint`` bytes (:mod:`repro.core.checkpoint` over the reply
+        channel — no shared filesystem needed), and only then rejoins the
+        mirror set.  Both commands are reply-bearing barriers, and the
+        single routing thread publishes no batches mid-resync, so the
+        restored replica is exactly the primary's logical content.
+        """
+        if self._transport is None:
+            return None  # in-process states cannot die
+        home = {
+            r * self.nworkers + shard for r in range(1 + self.replicas)
+        } - {self._primary[shard]} - set(self._replicas_of[shard])
+        dead = sorted(home & self._dead)
+        if not dead:
+            return None
+        slot = dead[0]
+        self._transport.respawn(slot)
+        self._dead.discard(slot)
+        blob = self.request(shard, "checkpoint")
+        self._submit_slot(slot, "restore", blob)
+        status, value = self._recv_slot(slot)
+        if status != "ok":
+            self._dead.add(slot)
+            raise WorkerCrash(f"replica resync for shard {shard} failed:\n{value}")
+        self._replicas_of[shard].append(slot)
+        return slot
 
     # -- lifecycle ------------------------------------------------------- #
 

@@ -108,6 +108,27 @@ class ValueCodec:
         )
         return raw.view(self.np_type).reshape(-1)
 
+    @property
+    def one_bits(self) -> np.uint64:
+        """The encoded bit pattern of the scalar ``1`` in this value type.
+
+        Key-only framing (shm ring and socket wire alike) elides the value
+        payload when every value equals 1 — the dominant one-count-per-packet
+        traffic workload — and the consumer re-synthesises it from this word.
+        """
+        return self.encode(1, 1)[0]
+
+    def encodes_to_ones(self, values, bits: np.ndarray) -> bool:
+        """Whether ``bits`` (the encoding of ``values``) is uniformly the
+        all-ones pattern, i.e. the value payload can be elided on the wire.
+
+        ``values`` is consulted only for the scalar fast path (one word
+        compared instead of the whole array).
+        """
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            return bool(bits[:1] == self.one_bits) if bits.size else True
+        return bool(np.all(bits == self.one_bits))
+
 #: Default ring capacity in slots (16 bytes of payload per slot across the
 #: two arrays): 128Ki slots = 2 MiB per worker — enough to pipeline several
 #: 50k-update batches without the producer waiting mid-split.

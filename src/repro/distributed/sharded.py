@@ -34,6 +34,18 @@ the engine's standing exactness caveat: migration ships *combined* values
 additions, so bit-identity is guaranteed for exactly representable values
 (integer packet/byte counts — the same qualifier the sharded guarantee has
 carried since PR 2); arbitrary float streams agree to rounding.
+
+Since PR 7 the shards can also live on *other machines*: ``transport="socket"``
+connects every worker slot to a :class:`~repro.distributed.node.NodeAgent`
+endpoint instead of forking locally, and ``replicas=r`` provisions ``r``
+mirror workers per shard.  Every ingest batch is mirrored before any failure
+is even detectable, so when a primary worker (or its whole node) dies the
+router *fails over*: the pool promotes a live replica and the next partition
+map epoch is published (identical intervals, bumped version — see
+:meth:`PartitionMap.advance <repro.distributed.partition.PartitionMap.
+advance>`), with zero lost updates.  A crashed shard with no live replica
+propagates :class:`~repro.distributed.worker.WorkerCrash` and leaves the
+previous epoch in force.
 """
 
 from __future__ import annotations
@@ -58,7 +70,7 @@ from .partition import (
     partition_keyspace,
 )
 from .pool import ShardWorkerPool, WorkerReport
-from .worker import WorkerCrash
+from .worker import WorkerCrash, WorkerDied
 
 __all__ = [
     "ShardRouter",
@@ -210,7 +222,7 @@ class ShardedIncrementalReductions:
         stamp = (self._owner._total_updates, self._owner._batches)
         if self._stats_memo is not None and self._stats_memo[0] == stamp:
             return self._stats_memo[1]
-        stats = self._owner._pool.request_all("stats")
+        stats = self._owner._request_all("stats")
         if self._flags is None:
             self._flags = (
                 all(s["supported"] for s in stats),
@@ -247,7 +259,7 @@ class ShardedIncrementalReductions:
         return self._support_flags()[1]
 
     def _merge(self, kind: str, size: int) -> Vector:
-        partials = self._owner._pool.request_all("reduce_incremental", kind)
+        partials = self._owner._request_all("reduce_incremental", kind)
         out = Vector(self._owner._dtype, size)
         for part in partials:
             if part is None:
@@ -358,15 +370,31 @@ class ShardedHierarchicalMatrix:
         tests and single-core machines).
     transport:
         Wire between the router and process-backed shard workers:
-        ``"queue"`` (default; pickled FIFO queues) or ``"shm"``
+        ``"queue"`` (default; pickled FIFO queues), ``"shm"``
         (shared-memory ring buffers carrying ingest batches as packed
-        ``uint64`` keys + raw value bits — zero pickling on the hot path).
+        ``uint64`` keys + raw value bits — zero pickling on the hot path),
+        or ``"socket"`` (TCP connections to
+        :class:`~repro.distributed.node.NodeAgent` endpoints given by
+        ``nodes``; same packed-key wire format as ``shm``, length-prefixed).
         ``shm`` falls back to ``queue`` for configurations the ring cannot
         carry bit-exactly (full 64-bit IPv6 shapes); read :attr:`transport`
         for the wire in force.  Ignored when ``use_processes=False``.
     ring_slots:
         Per-shard ring capacity for the ``shm`` transport (default
         :data:`~repro.distributed.ringbuf.DEFAULT_RING_SLOTS`).
+    nodes:
+        Agent endpoints for the ``socket`` transport — ``"host:port"``
+        strings (or ``(host, port)`` pairs) of running ``repro-node``
+        agents.  Worker slots are staggered so a shard's primary and its
+        replicas land on different nodes whenever there are at least two.
+    replicas:
+        Replica workers per shard (default 0).  Ingest batches are mirrored
+        to every replica before the primary's failure could even be
+        observed, so a dead primary fails over with zero lost updates:
+        queries retry transparently against the promoted replica under a
+        bumped map epoch.  A shard whose primary *and* replicas are all
+        dead raises :class:`~repro.distributed.worker.WorkerCrash` and
+        leaves the epoch untouched.
     defer_ingest / track_stats / track_reductions:
         Forwarded to every shard's :class:`~repro.core.HierarchicalMatrix`;
         ``track_reductions`` (default True) maintains each shard's incremental
@@ -397,6 +425,8 @@ class ShardedHierarchicalMatrix:
         use_processes: bool = False,
         transport: str = "queue",
         ring_slots: Optional[int] = None,
+        nodes: Optional[Sequence] = None,
+        replicas: int = 0,
         defer_ingest: bool = True,
         track_stats: bool = True,
         track_reductions: bool = True,
@@ -428,6 +458,8 @@ class ShardedHierarchicalMatrix:
             use_processes=use_processes,
             transport=transport,
             ring_slots=ring_slots,
+            nodes=list(nodes) if nodes is not None else None,
+            replicas=replicas,
         )
         self._incremental = ShardedIncrementalReductions(self)
         self._total_updates = 0
@@ -470,13 +502,19 @@ class ShardedHierarchicalMatrix:
 
     @property
     def transport(self) -> str:
-        """Worker wire in force: ``"inproc"``, ``"queue"``, or ``"shm"``.
+        """Worker wire in force: ``"inproc"``, ``"queue"``, ``"shm"``, or
+        ``"socket"``.
 
         ``"inproc"`` when ``use_processes=False``; otherwise the transport
         actually running — which is ``"queue"`` even under ``transport="shm"``
         when the configuration is not 64-bit-packable (the IPv6 fallback).
         """
         return self._pool.transport_name
+
+    @property
+    def replicas(self) -> int:
+        """Replica workers mirroring each shard (0 = no replication)."""
+        return self._pool.replicas
 
     @property
     def router(self) -> ShardRouter:
@@ -528,6 +566,89 @@ class ShardedHierarchicalMatrix:
         return self._incremental
 
     # ------------------------------------------------------------------ #
+    # failover-aware dispatch (PR 7)
+    # ------------------------------------------------------------------ #
+
+    def _failover(self, shard: int) -> None:
+        """Promote ``shard``'s replica and publish the next map epoch.
+
+        The promotion changes no interval ownership — the shard index keeps
+        its slabs, only the worker slot behind it changes — so the new map is
+        :meth:`PartitionMap.advance`: identical intervals, ``epoch + 1``.
+        The bump is the externally observable failover fence (batches and
+        queries after it run against the promoted replica).  Raises
+        :class:`WorkerCrash` without touching the epoch when no live replica
+        exists.
+        """
+        self._pool.promote(shard)
+        self._router.install(self._router.map.advance())
+        self._incremental.invalidate()
+
+    def _request(self, shard: int, cmd: str, payload=None, *, mirrored=False):
+        """One reply-bearing command with crash failover.
+
+        A plain :class:`WorkerCrash` means the command itself raised — the
+        worker keeps serving, so the error propagates unchanged (the
+        pre-replication contract).  :class:`WorkerDied` — the transports'
+        own death signal, raised only from liveness polls, ring closure, or
+        stream EOF, so it cannot be confused with a surviving worker's error
+        (and unlike an after-the-fact pid poll it cannot race with the
+        process still tearing down) — triggers :meth:`_failover` and one
+        retry against the promoted replica.  ``mirrored=True`` routes
+        state-mutating commands through
+        :meth:`ShardWorkerPool.request_mirrored`; after a failover those are
+        *not* resent — the promoted replica already executed the command
+        through its mirror leg, so a resend would apply it twice — and
+        ``None`` is returned (mirrored callers ignore results).
+        """
+        send = self._pool.request_mirrored if mirrored else self._pool.request
+        try:
+            return send(shard, cmd, payload)
+        except WorkerDied:
+            self._failover(shard)
+            if mirrored:
+                return None
+            return self._pool.request(shard, cmd, payload)
+
+    def _request_all(self, cmd: str, payload=None, *, mirrored=False):
+        """``cmd`` to every shard with per-shard crash failover.
+
+        The non-mirrored path keeps the pool's pipelining (submit everywhere,
+        then collect in order); a shard whose primary died mid-round fails
+        over and re-runs just its own command.  Mirrored rounds (``clear``)
+        are sequential — they are never on the hot path.
+        """
+        if mirrored:
+            return [
+                self._request(s, cmd, payload, mirrored=True)
+                for s in range(self.nshards)
+            ]
+        for s in range(self.nshards):
+            self._pool.submit(s, cmd, payload)
+        results = []
+        for s in range(self.nshards):
+            try:
+                results.append(self._pool.collect(s))
+            except WorkerDied:
+                self._failover(s)
+                results.append(self._pool.request(s, cmd, payload))
+        return results
+
+    def resync_replicas(self) -> int:
+        """Respawn and catch up every retired replica slot; returns how many.
+
+        Each resynchronised slot restores its primary's ``checkpoint`` bytes
+        over the reply channel (:func:`repro.core.checkpoint.checkpoint_bytes`
+        — no shared filesystem) before rejoining the mirror set, restoring
+        the failure budget after a failover.
+        """
+        count = 0
+        for s in range(self.nshards):
+            while self._pool.resync_replica(s) is not None:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
     # streaming updates
     # ------------------------------------------------------------------ #
 
@@ -562,20 +683,28 @@ class ShardedHierarchicalMatrix:
             raise DimensionMismatch(
                 f"values length {v.size} does not match index length {r.size}"
             )
-        with_keys = self._pool.transport_name == "shm"
+        with_keys = self._pool.transport_name in ("shm", "socket")
         shard, keys = self._router.route(r, c, with_keys=with_keys)
         for s in range(self.nshards):
             mask = shard == s
             if not mask.any():
                 continue
             sub_values = values if v is None else v[mask]
-            self._pool.submit_ingest(
-                s,
-                r[mask],
-                c[mask],
-                sub_values,
-                keys=keys[mask] if (with_keys and keys is not None) else None,
-            )
+            try:
+                self._pool.submit_ingest(
+                    s,
+                    r[mask],
+                    c[mask],
+                    sub_values,
+                    keys=keys[mask] if (with_keys and keys is not None) else None,
+                )
+            except WorkerDied:
+                # A dead primary's batch is NOT resent: submit_ingest
+                # mirrors to every replica before re-raising the primary's
+                # failure, so the promoted replica already holds it (this is
+                # the zero-lost-updates invariant).  A live primary raising
+                # (e.g. a coordinate rejection) propagates unchanged.
+                self._failover(s)
         self._total_updates += int(r.size)
         self._batches += 1
         return self
@@ -605,7 +734,7 @@ class ShardedHierarchicalMatrix:
         ``elapsed_seconds`` afterwards reflect the full ingest cost.  Returns
         one ``{"total_updates", "elapsed_seconds"}`` dict per shard.
         """
-        return self._pool.request_all("finalize")
+        return self._request_all("finalize")
 
     # ------------------------------------------------------------------ #
     # live rebalancing (PR 5)
@@ -630,13 +759,13 @@ class ShardedHierarchicalMatrix:
         units the loads were."""
         if by not in ("nnz", "traffic"):
             raise InvalidValue(f"load metric must be 'nnz' or 'traffic', got {by!r}")
-        stats = self._pool.request_all("stats")
+        stats = self._request_all("stats")
         if by == "traffic" and all(s["supported"] for s in stats):
             return [float(s["total"]) for s in stats], "traffic"
         if by == "nnz" and all(s["fan_supported"] for s in stats):
             return [float(s["nnz"]) for s in stats], "nnz"
         return (
-            [float(r.final_nvals) for r in self._pool.request_all("report")],
+            [float(r.final_nvals) for r in self._request_all("report")],
             "nnz",
         )
 
@@ -728,7 +857,7 @@ class ShardedHierarchicalMatrix:
         intervals = self._router.map.shard_intervals(source)
         if not intervals:
             return None
-        reply = self._pool.request(
+        reply = self._request(
             source,
             "extract_slab",
             {
@@ -743,7 +872,7 @@ class ShardedHierarchicalMatrix:
         lo, hi = reply["lo"], reply["hi"]
         discard = {"partition": self.partition, "lo": lo, "hi": hi}
         try:
-            self._pool.request(dest, "install_slab", reply["slab"])
+            self._request(dest, "install_slab", reply["slab"], mirrored=True)
         except Exception:
             # The source still holds the authoritative copy; best-effort
             # removal of whatever the destination applied keeps the old
@@ -753,7 +882,7 @@ class ShardedHierarchicalMatrix:
             self._discard_quietly(dest, discard)
             raise
         try:
-            self._pool.request(source, "discard_slab", discard)
+            self._request(source, "discard_slab", discard, mirrored=True)
         except Exception:
             # Undo the install so the old epoch stays the single-owner map.
             self._discard_quietly(dest, discard)
@@ -771,9 +900,14 @@ class ShardedHierarchicalMatrix:
         )
 
     def _discard_quietly(self, shard: int, discard: dict) -> None:
-        """Best-effort compensation; the shard may already be dead."""
+        """Best-effort compensation; the shard may already be dead.
+
+        Mirrored so the shard's replicas drop the slab too — an install that
+        reached the replica legs before the primary failed must not leave
+        the mirrors holding entries the authoritative copy never kept.
+        """
         with contextlib.suppress(Exception):
-            self._pool.request(shard, "discard_slab", discard)
+            self._pool.request_mirrored(shard, "discard_slab", discard)
 
     # ------------------------------------------------------------------ #
     # global queries
@@ -787,7 +921,7 @@ class ShardedHierarchicalMatrix:
         single flat :class:`~repro.core.HierarchicalMatrix` would produce from
         the same stream.
         """
-        triples = self._pool.request_all("materialize")
+        triples = self._request_all("materialize")
         rows = np.concatenate([t[0] for t in triples])
         cols = np.concatenate([t[1] for t in triples])
         vals = np.concatenate([t[2] for t in triples])
@@ -806,7 +940,7 @@ class ShardedHierarchicalMatrix:
         r = K.as_index_array([row], "row")
         c = K.as_index_array([col], "col")
         shard = int(self._router.shard_of(r, c)[0])
-        value = self._pool.request(shard, "get", (int(row), int(col)))
+        value = self._request(shard, "get", (int(row), int(col)))
         return default if value is None else value
 
     def __getitem__(self, key):
@@ -819,7 +953,7 @@ class ShardedHierarchicalMatrix:
 
     def _reduce(self, axis: str, op) -> Vector:
         op_name = op if isinstance(op, str) else getattr(op, "name", "plus")
-        partials = self._pool.request_all("reduce", (axis, op_name))
+        partials = self._request_all("reduce", (axis, op_name))
         from ..graphblas.monoid import monoid
 
         dup_op = monoid[op_name].op
@@ -849,7 +983,7 @@ class ShardedHierarchicalMatrix:
 
     def reports(self) -> List[WorkerReport]:
         """Per-shard measurement snapshots (updates, timed seconds, rate)."""
-        return self._pool.request_all("report")
+        return self._request_all("report")
 
     @property
     def aggregate_rate_sum(self) -> float:
@@ -858,7 +992,7 @@ class ShardedHierarchicalMatrix:
 
     def clear(self) -> "ShardedHierarchicalMatrix":
         """Empty every shard and reset the routed-update counters."""
-        self._pool.request_all("clear")
+        self._request_all("clear", mirrored=True)
         self._total_updates = 0
         self._batches = 0
         return self

@@ -10,7 +10,7 @@ the worker processes and moves three kinds of traffic:
   ``clear`` / ``stop``;
 * **replies** — one per reply-bearing control command, FIFO per worker.
 
-Two implementations:
+Three implementations:
 
 ``queue`` (:class:`QueueTransport`, the default)
     The PR-2 wire: everything crosses on per-worker ``multiprocessing``
@@ -36,11 +36,29 @@ Two implementations:
     to override on hardware you have validated); :func:`make_transport`
     falls back to ``queue`` otherwise (e.g. the IPv6 case).
 
-Both transports surface worker failures the same way: a worker-side exception
+``socket`` (:class:`SocketTransport`)
+    The multi-node wire (PR 7): workers are not forked by the transport at
+    all — they live behind :class:`~repro.distributed.node.NodeAgent`
+    endpoints, and the transport *connects* one TCP stream per worker slot.
+    Ingest crosses as length-prefixed frames of the same packed ``uint64``
+    keys + :class:`~repro.distributed.ringbuf.ValueCodec` value bits the shm
+    ring uses (key-only for all-ones batches, pickled-COO fallback for
+    unpackable IPv6 shapes and wide dtypes — so unlike ``shm`` the socket
+    wire serves every configuration itself).  Control commands and replies
+    travel in-band on the same stream, so FIFO barrier ordering against
+    in-flight batches holds by construction — no separate barrier frames
+    needed.
+
+All transports surface worker failures the same way: a worker-side exception
 is delivered as an ``("error", traceback)`` reply, and a worker that *dies*
-(killed, OOM, segfault) is detected by liveness polling — the parent gets
-:class:`~repro.distributed.worker.WorkerCrash` at the next reply (or, for the
-ring, at the next push into a full buffer) instead of hanging.  Fault
+(killed, OOM, segfault) is detected by liveness polling or stream EOF and
+delivered as a ``("died", ...)`` reply — the parent gets
+:class:`~repro.distributed.worker.WorkerCrash` (respectively its
+:class:`~repro.distributed.worker.WorkerDied` subclass) at the next reply, or
+:class:`WorkerDied` at the next push into a dead worker's ring or socket,
+instead of hanging.  The error/died distinction comes from the transport's
+own detection path, never from an after-the-fact pid poll — a dying worker
+closes its wire before its pid disappears, so polling races.  Fault
 injection tests in ``tests/distributed/test_faults.py`` pin this down for
 every transport.
 """
@@ -49,8 +67,10 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import platform
 import queue as queue_mod
+import socket as socket_mod
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -59,13 +79,17 @@ import numpy as np
 from ..graphblas import coords
 from ..graphblas import _kernels as K
 from ..graphblas.types import lookup_dtype
+from . import node as node_mod
+from .node import RemoteWorkerHandle, parse_address
 from .ringbuf import DEFAULT_RING_SLOTS, RingClosed, ShmRing, ValueCodec
-from .worker import CommandExecutor, WorkerCrash
+from .worker import CommandExecutor, WorkerCrash, WorkerDied
 
 __all__ = [
     "ShardTransport",
+    "ProcessTransport",
     "QueueTransport",
     "ShmRingTransport",
+    "SocketTransport",
     "ValueCodec",
     "make_transport",
     "shm_supported",
@@ -73,7 +97,7 @@ __all__ = [
 ]
 
 #: Transport names accepted by :func:`make_transport` and the CLI.
-TRANSPORT_NAMES = ("queue", "shm")
+TRANSPORT_NAMES = ("queue", "shm", "socket")
 
 #: How often a blocked reply wait re-checks that the worker is still alive.
 _REPLY_POLL_SECONDS = 0.05
@@ -125,6 +149,8 @@ def make_transport(
     matrix_kwargs: Optional[Dict[str, Any]] = None,
     *,
     ring_slots: Optional[int] = None,
+    nodes: Optional[List] = None,
+    placement: Optional[List[int]] = None,
 ) -> "ShardTransport":
     """Build the requested transport, falling back to ``queue`` when needed.
 
@@ -132,11 +158,20 @@ def make_transport(
     carry bit-exactly (full 64-bit IPv6 shapes, > 8-byte value types) — the
     documented fallback, mirroring how the packed kernels fall back to
     lexsort.  Check the returned transport's ``.name`` to see what is in
-    force.
+    force.  ``socket`` requires ``nodes`` (agent endpoints to connect to) and
+    optionally ``placement`` (worker slot -> node index); it needs no
+    fallback — unpackable configurations use pickled ingest frames on the
+    same wire.
     """
     if name not in TRANSPORT_NAMES:
         raise ValueError(
             f"unknown transport {name!r}; expected one of {TRANSPORT_NAMES}"
+        )
+    if name == "socket":
+        if not nodes:
+            raise ValueError("the socket transport requires node addresses")
+        return SocketTransport(
+            nworkers, matrix_kwargs, nodes=nodes, placement=placement
         )
     if name == "shm" and shm_supported(matrix_kwargs):
         return ShmRingTransport(nworkers, matrix_kwargs, ring_slots=ring_slots)
@@ -148,15 +183,77 @@ def _mp_context():
 
 
 class ShardTransport:
-    """Common machinery: worker processes, reply channels, liveness polling.
+    """The wire interface the pool speaks; implementations own the endpoint.
+
+    A transport moves the three traffic kinds of the module docstring for
+    ``nworkers`` worker slots.  :class:`ProcessTransport` implementations
+    additionally *own* their worker processes (fork on construction);
+    :class:`SocketTransport` connects to workers something else hosts.
+    """
+
+    #: Wire name ("queue", "shm", or "socket"); set by subclasses.
+    name: str = ""
+
+    nworkers: int = 0
+
+    def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
+        """Dispatch one ``(rows, cols, values)`` batch; fire-and-forget.
+
+        ``keys`` optionally carries the router's already-packed ``uint64``
+        coordinate keys for these rows/cols (always
+        ``coords.pack(rows, cols, shape_split(nrows, ncols))``); the shm and
+        socket wires send them as-is instead of packing a second time.
+        """
+        raise NotImplementedError
+
+    def send_control(self, worker: int, cmd: str, payload=None) -> None:
+        """Dispatch one non-ingest command; replies come via :meth:`recv_reply`."""
+        raise NotImplementedError
+
+    def recv_reply(self, worker: int) -> Tuple[str, Any]:
+        """Block for the next ``(status, value)`` reply from ``worker``.
+
+        A dead worker produces a ``("died", ...)`` reply instead of a hang
+        (liveness polling or stream EOF, per wire); a worker that merely
+        raised replies ``("error", traceback)`` and keeps serving.
+        """
+        raise NotImplementedError
+
+    def worker_alive(self, worker: int) -> bool:
+        """Whether the worker behind ``worker`` slot is still running."""
+        raise NotImplementedError
+
+    def respawn(self, worker: int) -> None:
+        """Replace a dead worker slot with a fresh, empty worker.
+
+        Used by replica resynchronisation: the new worker starts from an
+        empty matrix and is caught up via ``checkpoint``/``restore``.
+        """
+        raise NotImplementedError
+
+    @property
+    def processes(self) -> List:
+        """Process(-like) handles per slot (fault-injection tests kill these)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop every worker / release the wire; idempotent."""
+        raise NotImplementedError
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ProcessTransport(ShardTransport):
+    """Common machinery of the forking wires: worker processes, reply queues.
 
     Subclasses provide the worker main loop (:meth:`_spawn_args`) and the
     ingest wire (:meth:`send_ingest`); control commands and replies share the
-    queue implementation here.
+    queue implementation here, and liveness is ``Process.is_alive`` polling.
     """
-
-    #: Wire name ("queue" or "shm"); set by subclasses.
-    name: str = ""
 
     def __init__(self, nworkers: int, matrix_kwargs: Optional[Dict[str, Any]]):
         self.nworkers = int(nworkers)
@@ -182,28 +279,12 @@ class ShardTransport:
     def _spawn_args(self, worker: int) -> tuple:
         raise NotImplementedError
 
-    def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
-        """Dispatch one ``(rows, cols, values)`` batch; fire-and-forget.
-
-        ``keys`` optionally carries the router's already-packed ``uint64``
-        coordinate keys for these rows/cols (always
-        ``coords.pack(rows, cols, shape_split(nrows, ncols))``); the shm
-        wire sends them as-is instead of packing a second time.
-        """
-        raise NotImplementedError
-
     # Shared control/reply path ------------------------------------------ #
 
     def send_control(self, worker: int, cmd: str, payload=None) -> None:
-        """Dispatch one non-ingest command; replies come via :meth:`recv_reply`."""
         self._tasks[worker].put((cmd, payload))
 
     def recv_reply(self, worker: int) -> Tuple[str, Any]:
-        """Block for the next ``(status, value)`` reply from ``worker``.
-
-        Polls the worker's liveness while waiting, so a dead worker produces
-        an ``("error", ...)`` reply instead of a hang.
-        """
         q = self._replies[worker]
         proc = self._procs[worker]
         while True:
@@ -216,14 +297,42 @@ class ShardTransport:
                         return q.get(timeout=_REPLY_POLL_SECONDS)
                     except queue_mod.Empty:
                         return (
-                            "error",
+                            "died",
                             f"worker process died (exit code {proc.exitcode}) "
                             "without replying",
                         )
 
     def worker_alive(self, worker: int) -> bool:
-        """Whether the worker process is still running."""
         return self._procs[worker].is_alive()
+
+    def respawn(self, worker: int) -> None:
+        """Fork a fresh worker for this slot (its state starts empty).
+
+        The slot's queues are *replaced*, not reused: a worker killed
+        mid-read can leave a partial message in the old pipe (hanging any
+        future reader), and commands the dead worker never consumed were
+        already surfaced to the caller as errors — replaying them to the
+        replacement would produce replies nobody is waiting for and
+        desynchronise the reply stream.
+        """
+        old = self._procs[worker]
+        if old.is_alive():  # pragma: no cover - defensive
+            old.terminate()
+        old.join(timeout=5)
+        for q in (self._tasks[worker], self._replies[worker]):
+            q.cancel_join_thread()
+            q.close()
+        self._tasks[worker] = self._ctx.Queue()
+        self._replies[worker] = self._ctx.Queue()
+        self._reset_slot_channels(worker)
+        proc = self._ctx.Process(
+            target=self._worker_main, args=self._spawn_args(worker), daemon=True
+        )
+        proc.start()
+        self._procs[worker] = proc
+
+    def _reset_slot_channels(self, worker: int) -> None:
+        """Subclass hook: rebuild any extra per-slot wire state (rings)."""
 
     @property
     def processes(self) -> List[mp.Process]:
@@ -249,12 +358,6 @@ class ShardTransport:
         for q in (*self._tasks, *self._replies):
             q.close()
 
-    def __del__(self):  # pragma: no cover - best-effort cleanup
-        try:
-            self.close()
-        except Exception:
-            pass
-
 
 # --------------------------------------------------------------------------- #
 # queue transport (the PR-2 wire)
@@ -276,7 +379,7 @@ def _queue_worker_main(worker_id, matrix_kwargs, task_queue, reply_queue) -> Non
         executor.execute(cmd, payload)
 
 
-class QueueTransport(ShardTransport):
+class QueueTransport(ProcessTransport):
     """Everything — batches included — over pickled per-worker FIFO queues."""
 
     name = "queue"
@@ -368,7 +471,7 @@ def _shm_worker_main(
         ring.close()
 
 
-class ShmRingTransport(ShardTransport):
+class ShmRingTransport(ProcessTransport):
     """Ingest over per-worker shared-memory rings; control over a side queue.
 
     The parent sends each routed batch as ``uint64`` coordinate keys under
@@ -411,7 +514,7 @@ class ShmRingTransport(ShardTransport):
         # Bit pattern of scalar 1 in the shard dtype: batches whose every
         # value matches it ship as key-only frames (no value payload at all
         # — the all-ones traffic workload currently dominates the wire).
-        self._one_bits = np.uint64(self._codec.encode(1, 1)[0])
+        self._one_bits = np.uint64(self._codec.one_bits)
         #: Key-only ingest frames published so far (observability + tests).
         self.key_only_batches = 0
         slots = int(ring_slots) if ring_slots is not None else DEFAULT_RING_SLOTS
@@ -431,6 +534,16 @@ class ShmRingTransport(ShardTransport):
     def rings(self) -> List[ShmRing]:
         """Per-worker rings (parent-side handles; exposed for tests)."""
         return list(self._rings)
+
+    def _reset_slot_channels(self, worker: int) -> None:
+        # A worker killed mid-pop can leave the ring's read watermark stale;
+        # the replacement gets a fresh ring (same capacity) instead.
+        slots = self._rings[worker].capacity
+        try:
+            self._rings[worker].destroy()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        self._rings[worker] = ShmRing(slots)
 
     def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
         if keys is None:
@@ -460,18 +573,13 @@ class ShmRingTransport(ShardTransport):
         scalar = np.isscalar(values) or (
             isinstance(values, np.ndarray) and values.ndim == 0
         )
+        bits = self._codec.encode(values, 1 if scalar else keys.size)
+        if self._codec.encodes_to_ones(values, bits):
+            self.key_only_batches += 1
+            self._push(worker, keys, None, _DATA_FRAME)
+            return
         if scalar:
-            if self._codec.encode(values, 1)[0] == self._one_bits:
-                self.key_only_batches += 1
-                self._push(worker, keys, None, _DATA_FRAME)
-                return
             bits = self._codec.encode(values, keys.size)
-        else:
-            bits = self._codec.encode(values, keys.size)
-            if bits.size and bits[0] == self._one_bits and np.all(bits == self._one_bits):
-                self.key_only_batches += 1
-                self._push(worker, keys, None, _DATA_FRAME)
-                return
         self._push(worker, keys, bits, _DATA_FRAME)
 
     def send_control(self, worker: int, cmd: str, payload=None) -> None:
@@ -486,7 +594,7 @@ class ShmRingTransport(ShardTransport):
         try:
             self._rings[worker].push(keys, bits, flags=flags, still_alive=proc.is_alive)
         except RingClosed as exc:
-            raise WorkerCrash(
+            raise WorkerDied(
                 f"shard worker {worker} is gone (exit code {proc.exitcode}); "
                 f"ring push failed: {exc}"
             ) from exc
@@ -497,3 +605,206 @@ class ShmRingTransport(ShardTransport):
         super().close()
         for ring in self._rings:
             ring.destroy()
+
+
+# --------------------------------------------------------------------------- #
+# socket transport (the PR-7 multi-node wire)
+# --------------------------------------------------------------------------- #
+
+
+class SocketTransport(ShardTransport):
+    """One TCP stream per worker slot, connected to NodeAgent endpoints.
+
+    The transport owns no processes: each slot is a connection to a
+    :class:`~repro.distributed.node.NodeAgent` (local or remote), which forks
+    the worker behind it.  Ingest crosses as packed-key + raw-value-bit
+    frames (key-only for all-ones batches — the shm wire's framing over TCP);
+    control commands and replies share the same stream, so per-worker FIFO
+    ordering — and with it the barrier semantics of reply-bearing commands —
+    holds because a byte stream cannot reorder.  Configurations the binary
+    frames cannot carry (unpackable IPv6 shapes, > 8-byte value types) use
+    pickled ingest frames on the same connection instead of a different
+    transport.
+
+    Parameters
+    ----------
+    nworkers:
+        Worker slots to connect.
+    matrix_kwargs:
+        Shard matrix configuration, forwarded to each worker via HELLO.
+    nodes:
+        Agent endpoints — ``"host:port"`` strings or ``(host, port)`` pairs.
+    placement:
+        Node index per slot; defaults to ``slot % len(nodes)`` round-robin.
+        The pool overrides this for replicated slot layouts so a shard's
+        primary and replica never share a node.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        nworkers: int,
+        matrix_kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        nodes: List,
+        placement: Optional[List[int]] = None,
+    ):
+        self.nworkers = int(nworkers)
+        self._matrix_kwargs = dict(matrix_kwargs or {})
+        self._nodes = [parse_address(a) for a in nodes]
+        if placement is None:
+            placement = [s % len(self._nodes) for s in range(self.nworkers)]
+        if len(placement) != self.nworkers:
+            raise ValueError(
+                f"{len(placement)} placements do not cover {self.nworkers} slots"
+            )
+        self.placement = [int(p) for p in placement]
+        nrows = int(self._matrix_kwargs.get("nrows", 2 ** 32))
+        ncols = int(self._matrix_kwargs.get("ncols", 2 ** 32))
+        self._nrows, self._ncols = nrows, ncols
+        self._spec = coords.shape_split(nrows, ncols)
+        np_type = lookup_dtype(self._matrix_kwargs.get("dtype", "fp64")).np_type
+        self._codec = ValueCodec(np_type) if np_type.itemsize <= 8 else None
+        #: Key-only ingest frames sent so far (observability + tests).
+        self.key_only_batches = 0
+        self._conns: List = []
+        self._handles: List[RemoteWorkerHandle] = []
+        self._closed = False
+        try:
+            for slot in range(self.nworkers):
+                self._connect(slot)
+        except Exception:
+            self.close()
+            raise
+
+    def _connect(self, slot: int) -> None:
+        conn = socket_mod.create_connection(self._nodes[self.placement[slot]], timeout=30)
+        conn.settimeout(None)
+        conn.setsockopt(socket_mod.IPPROTO_TCP, socket_mod.TCP_NODELAY, 1)
+        node_mod.send_pickled(
+            conn,
+            node_mod.F_HELLO,
+            {"slot": slot, "matrix_kwargs": self._matrix_kwargs},
+        )
+        frame = node_mod.recv_frame(conn)
+        if frame is None or frame[0] != node_mod.F_HELLO_ACK:
+            conn.close()
+            raise WorkerCrash(
+                f"node agent at {self._nodes[self.placement[slot]]} did not "
+                f"acknowledge worker slot {slot}"
+            )
+        ack = pickle.loads(bytes(frame[1]))
+        handle = RemoteWorkerHandle(int(ack["pid"]))
+        if slot < len(self._conns):
+            self._conns[slot] = conn
+            self._handles[slot] = handle
+        else:
+            self._conns.append(conn)
+            self._handles.append(handle)
+
+    # Wire implementation ------------------------------------------------- #
+
+    def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
+        if self._spec is not None and self._codec is not None:
+            if keys is None:
+                r = K.as_index_array(rows, "rows")
+                c = K.as_index_array(cols, "cols")
+                if r.size == 0:
+                    return
+                if int(r.max()) >= self._nrows or int(c.max()) >= self._ncols:
+                    from ..graphblas.errors import InvalidIndex
+
+                    raise InvalidIndex(
+                        f"coordinate batch exceeds the {self._nrows}x{self._ncols} shape"
+                    )
+                keys = coords.pack(r, c, self._spec)
+            else:
+                keys = np.ascontiguousarray(keys, dtype=np.uint64)
+                if keys.size == 0:
+                    return
+            scalar = np.isscalar(values) or (
+                isinstance(values, np.ndarray) and values.ndim == 0
+            )
+            bits = self._codec.encode(values, 1 if scalar else keys.size)
+            if self._codec.encodes_to_ones(values, bits):
+                self.key_only_batches += 1
+                self._send(worker, node_mod.F_DATA_KEYONLY, keys.tobytes())
+                return
+            if scalar:
+                bits = self._codec.encode(values, keys.size)
+            self._send(worker, node_mod.F_DATA, keys.tobytes() + bits.tobytes())
+            return
+        # Unpackable shape / wide dtype: pickled COO on the same stream.
+        self._send(
+            worker,
+            node_mod.F_DATA_PICKLED,
+            pickle.dumps((rows, cols, values), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def send_control(self, worker: int, cmd: str, payload=None) -> None:
+        try:
+            self._send(
+                worker,
+                node_mod.F_CONTROL,
+                pickle.dumps((cmd, payload), protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        except WorkerCrash:
+            if cmd != "stop":
+                # Match the queue wire: sending a control to a dead worker
+                # succeeds quietly; the death surfaces at recv_reply.
+                pass
+
+    def _send(self, worker: int, ftype: int, payload: bytes) -> None:
+        try:
+            node_mod.send_frame(self._conns[worker], ftype, payload)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise WorkerDied(
+                f"shard worker {worker} is gone; socket send failed: {exc}"
+            ) from exc
+
+    def recv_reply(self, worker: int) -> Tuple[str, Any]:
+        frame = node_mod.recv_frame(self._conns[worker])
+        if frame is None or frame[0] != node_mod.F_REPLY:
+            # EOF delivers buffered replies first, so reaching this point
+            # means the worker truly died before replying — the stream
+            # analogue of the queue wire's liveness-poll timeout.
+            return (
+                "died",
+                f"worker process died (connection to pid "
+                f"{self._handles[worker].pid} lost) without replying",
+            )
+        return pickle.loads(bytes(frame[1]))
+
+    def worker_alive(self, worker: int) -> bool:
+        return self._handles[worker].is_alive()
+
+    def respawn(self, worker: int) -> None:
+        """Reconnect the slot: the agent forks a fresh (empty) worker."""
+        try:
+            self._conns[worker].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._connect(worker)
+
+    @property
+    def processes(self) -> List[RemoteWorkerHandle]:
+        """Process-like pid handles (valid for agents on this machine)."""
+        return list(self._handles)
+
+    # Lifecycle ----------------------------------------------------------- #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in range(len(self._conns)):
+            try:
+                self.send_control(worker, "stop")
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass

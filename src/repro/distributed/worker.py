@@ -20,7 +20,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import HierarchicalMatrix
-from ..graphblas import coords
+from ..core.checkpoint import checkpoint_bytes, load_checkpoint_bytes
+from ..graphblas import Matrix, coords
 from ..graphblas.binaryop import binary
 from ..workloads.powerlaw import powerlaw_edges
 from .partition import interval_mask, partition_keys
@@ -29,6 +30,7 @@ from .ringbuf import ValueCodec
 __all__ = [
     "WorkerReport",
     "WorkerCrash",
+    "WorkerDied",
     "ShardState",
     "CommandExecutor",
     "stream_powerlaw",
@@ -69,6 +71,19 @@ class WorkerReport:
 
 class WorkerCrash(RuntimeError):
     """A shard worker raised (or died) while executing a command."""
+
+
+class WorkerDied(WorkerCrash):
+    """The worker *process* is gone (SIGKILL, OOM, node failure).
+
+    Raised only from the transports' own death-detection paths (queue
+    liveness poll, ring closure, socket EOF/send failure), never from a
+    worker-raised exception — so catching this, rather than polling pid
+    liveness after the fact, is the race-free way to tell "the shard needs
+    failover" from "the command failed but the worker survives".  A dying
+    worker closes its wire *before* its pid disappears from the process
+    table, so a liveness poll taken at crash time can still read alive.
+    """
 
 
 def stream_powerlaw(
@@ -133,6 +148,8 @@ REPLY_COMMANDS = frozenset(
         "extract_slab",
         "install_slab",
         "discard_slab",
+        "checkpoint",
+        "restore",
     }
 )
 
@@ -247,6 +264,20 @@ class ShardState:
             return self._install_slab(payload)
         if cmd == "discard_slab":
             return self._discard_slab(payload)
+        if cmd == "checkpoint":
+            # Replica resync source: the primary's full logical content as
+            # in-memory .npz bytes (reply-bearing, so it is a barrier — the
+            # snapshot reflects every batch mirrored before it).
+            return checkpoint_bytes(self.matrix)
+        if cmd == "restore":
+            # Replica resync sink: replace this worker's content with the
+            # primary's checkpoint.  reset_from_triples keeps the worker's
+            # own hierarchy configuration (cuts, accum, tracker) — only the
+            # logical triples are adopted.
+            restored = load_checkpoint_bytes(payload)
+            rows, cols, vals = restored.materialize().extract_tuples()
+            self.matrix.reset_from_triples(rows, cols, vals)
+            return int(rows.size)
         raise ValueError(f"unknown worker command {cmd!r}")
 
     # -- live slab migration (PR 5) -------------------------------------- #
@@ -265,6 +296,40 @@ class ShardState:
         rows, cols, vals = self.matrix.to_coo()
         pkeys = partition_keys(rows, cols, partition, self.spec)
         return interval_mask(pkeys, int(lo), int(hi)), rows, cols, vals
+
+    def _gather_slab(self, partition: str, lo: int, hi: int):
+        """Combined ``[lo, hi)`` slab triples without materialising the shard.
+
+        Each sorted layer is cut independently (``extract_tuples`` merges only
+        that layer's own pending buffer) and only the *slab-sized* gathered
+        pieces are combined across layers, so copying a small slab out of a
+        large shard costs O(shard keys scanned + slab entries combined)
+        instead of a full multi-layer merge.  The combine uses the hierarchy's
+        own accumulator, so values are bit-identical to cutting the
+        materialised sum.
+        """
+        lo, hi = int(lo), int(hi)
+        parts = []
+        for layer in self.matrix.layers:
+            rows, cols, vals = layer.extract_tuples()
+            if rows.size == 0:
+                continue
+            mask = interval_mask(partition_keys(rows, cols, partition, self.spec), lo, hi)
+            if mask.any():
+                parts.append((rows[mask], cols[mask], vals[mask]))
+        if not parts:
+            vt = self.matrix.dtype.np_type
+            return np.empty(0, np.uint64), np.empty(0, np.uint64), np.empty(0, vt)
+        if len(parts) == 1:
+            return parts[0]
+        combined = Matrix(self.matrix.dtype, self.matrix.nrows, self.matrix.ncols)
+        combined.build(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+            dup_op=self.matrix.accum,
+        )
+        return combined.extract_tuples()
 
     def _encode_slab(self, rows, cols, vals):
         """Slab wire form: packed uint64 keys + raw value bits when possible.
@@ -311,15 +376,32 @@ class ShardState:
         target = payload.get("target")
         if target is None:
             lo, hi = int(payload["lo"]), int(payload["hi"])
-            move, rows, cols, vals = self._slab_triples(partition, lo, hi)
         else:
-            rows, cols, vals = self.matrix.to_coo()
-            pkeys = partition_keys(rows, cols, partition, self.spec)
+            # Scan partition keys and weights per layer — no materialise.  A
+            # coordinate stored in several layers contributes each layer's
+            # weight separately; under ``plus`` (the only accumulator the
+            # traffic policy meters) the value weights still sum exactly, and
+            # count weights over-count such coordinates slightly — an
+            # acceptable bias for what is already a load *heuristic*, while
+            # the extracted slab content below stays exact.
             weight = payload.get("weight", "count")
-            if weight == "value":
-                all_w = np.abs(vals.astype(np.float64, copy=False))
+            key_parts = []
+            w_parts = []
+            for layer in self.matrix.layers:
+                lr, lc, lv = layer.extract_tuples()
+                if lr.size == 0:
+                    continue
+                key_parts.append(partition_keys(lr, lc, partition, self.spec))
+                if weight == "value":
+                    w_parts.append(np.abs(lv.astype(np.float64, copy=False)))
+                else:
+                    w_parts.append(np.ones(lr.size, dtype=np.float64))
+            if key_parts:
+                pkeys = np.concatenate(key_parts)
+                all_w = np.concatenate(w_parts)
             else:
-                all_w = np.ones(rows.size, dtype=np.float64)
+                pkeys = np.empty(0, dtype=np.uint64)
+                all_w = np.empty(0, dtype=np.float64)
             # Pick the heaviest owned interval *in the policy's own units*:
             # under the traffic policy a few huge-value entries outweigh a
             # crowd of light ones, and cutting the crowded interval instead
@@ -349,15 +431,15 @@ class ShardState:
             while i > 0 and sorted_keys[i - 1] == sorted_keys[i]:
                 i -= 1
             lo = int(sorted_keys[i])
-            move = in_interval & interval_mask(pkeys, lo, hi)
-        count = int(move.sum())
+        rows, cols, vals = self._gather_slab(partition, lo, hi)
+        count = int(rows.size)
         if count == 0:
             return {"lo": lo, "hi": hi, "count": 0, "slab": None}
         return {
             "lo": lo,
             "hi": hi,
             "count": count,
-            "slab": self._encode_slab(rows[move], cols[move], vals[move]),
+            "slab": self._encode_slab(rows, cols, vals),
         }
 
     def _install_slab(self, slab) -> int:

@@ -13,34 +13,69 @@ everything else).
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
+from repro.core import HierarchicalMatrix
 from repro.distributed import (
     RingClosed,
     ShardedHierarchicalMatrix,
     ShardWorkerPool,
     WorkerCrash,
+    WorkerDied,
     shm_supported,
+    spawn_local_agents,
 )
 
 from .conftest import deadline
 
 CUTS = [500, 5_000]
-TRANSPORTS = ["queue", "shm"]
+TRANSPORTS = ["queue", "shm", "socket"]
 
 #: Tests that reach into the ring itself need the shm wire actually in force.
 requires_shm = pytest.mark.skipif(
     not shm_supported(None), reason="shm transport unavailable on this host"
 )
 
+#: Localhost NodeAgent pair shared by the socket legs of the batteries that
+#: only kill *workers* (the agents themselves survive those tests).  Node-kill
+#: tests spawn their own disposable agents instead.
+_SOCKET_AGENTS = None
+
+
+def _socket_nodes():
+    global _SOCKET_AGENTS
+    if _SOCKET_AGENTS is None:
+        cm = spawn_local_agents(2)
+        addresses, _procs = cm.__enter__()
+        _SOCKET_AGENTS = (cm, addresses)
+    return list(_SOCKET_AGENTS[1])
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _socket_agent_teardown():
+    yield
+    global _SOCKET_AGENTS
+    if _SOCKET_AGENTS is not None:
+        _SOCKET_AGENTS[0].__exit__(None, None, None)
+        _SOCKET_AGENTS = None
+
+
+def _transport_kwargs(transport, **extra):
+    kwargs = {"use_processes": True, "transport": transport, **extra}
+    if transport == "socket":
+        kwargs["nodes"] = _socket_nodes()
+    return kwargs
+
 
 def make_pool(transport, nworkers=1):
     return ShardWorkerPool(
         nworkers,
         matrix_kwargs={"cuts": CUTS},
-        use_processes=True,
-        transport=transport,
+        **_transport_kwargs(transport),
     )
 
 
@@ -60,6 +95,28 @@ class TestKilledWorker:
             proc.join(timeout=10)
             with deadline(30):
                 with pytest.raises(WorkerCrash):
+                    pool.request(0, "report")
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_death_is_distinguishable_from_a_raise(self, transport):
+        """Death surfaces as WorkerDied; a surviving worker's raise does not.
+
+        The failover logic keys on this distinction (it must never poll pid
+        liveness — a dying worker closes its wire before its pid disappears,
+        so a poll taken at crash time can still read alive and would turn a
+        recoverable node death into a propagated error).
+        """
+        with make_pool(transport) as pool:
+            with deadline(30):
+                with pytest.raises(WorkerCrash) as raised:
+                    pool.request(0, "reduce_incremental", "bogus_kind")
+            assert not isinstance(raised.value, WorkerDied)
+            # ...and the worker survived the raise (pre-replication contract).
+            assert pool.request(0, "stats")["updates"] == 0
+            pool.processes[0].kill()
+            pool.processes[0].join(timeout=10)
+            with deadline(30):
+                with pytest.raises(WorkerDied):
                     pool.request(0, "report")
 
     @pytest.mark.parametrize("transport", TRANSPORTS)
@@ -192,8 +249,7 @@ class TestMigrationFaults:
             nshards,
             cuts=CUTS,
             partition="range",
-            use_processes=True,
-            transport=transport,
+            **_transport_kwargs(transport),
         )
         rng = np.random.default_rng(31)
         for _ in range(3):
@@ -206,16 +262,21 @@ class TestMigrationFaults:
 
     @staticmethod
     def _kill_on(pool, command, monkeypatch, worker_filter=None):
-        """SIGKILL the targeted worker the moment ``command`` is dispatched
-        to it — deterministically mid-command, while the parent awaits the
-        reply.  ``worker_filter`` restricts the kill to one worker index (so
-        a compensation command to another worker is not also shot down)."""
+        """SIGKILL the targeted worker at the moment ``command`` is
+        dispatched to it — dead before it can execute or reply, so the
+        parent deterministically observes the death while awaiting this
+        command's reply.  (Killing *after* the dispatch would race the
+        worker: on the in-band socket wire a fast worker can finish the
+        command and reply before the signal lands.)  ``worker_filter``
+        restricts the kill to one worker index (so a compensation command
+        to another worker is not also shot down)."""
         original_submit = pool.submit
 
         def killing_submit(worker, cmd, payload=None):
-            original_submit(worker, cmd, payload)
             if cmd == command and (worker_filter is None or worker == worker_filter):
                 pool.processes[worker].kill()
+                pool.processes[worker].join(timeout=10)
+            original_submit(worker, cmd, payload)
 
         monkeypatch.setattr(pool, "submit", killing_submit)
 
@@ -306,6 +367,193 @@ class TestMigrationFaults:
             # ...and the next rebalance (no fault) succeeds cleanly.
             assert sharded.rebalance() is not None
             assert sharded.materialize().isequal(flat.materialize())
+
+
+def _sorted_triples(matrix):
+    rows, cols, vals = matrix.extract_tuples()
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], vals[order]
+
+
+def _assert_bit_identical(sharded, flat_matrix):
+    sr, sc, sv = _sorted_triples(sharded.materialize())
+    fr, fc, fv = _sorted_triples(flat_matrix)
+    assert np.array_equal(sr, fr) and np.array_equal(sc, fc)
+    assert np.array_equal(sv, fv), "values diverged from the flat reference"
+
+
+class TestReplicaFailover:
+    """A dead primary with a live replica fails over with zero lost updates.
+
+    Every ingest batch is mirrored to the replica *before* the primary's
+    failure is even detectable, so after a SIGKILL mid-stream the promoted
+    replica must hold every update the stream ever routed — asserted as
+    bit-identity (triples and reductions) against an uninterrupted flat
+    reference, plus the map-epoch bump that fences the promotion.
+    """
+
+    @staticmethod
+    def _streams(seed=71, nbatches=6, n=300):
+        rng = np.random.default_rng(seed)
+        return [
+            (
+                rng.integers(0, 2 ** 16, n, dtype=np.uint64),
+                rng.integers(0, 2 ** 16, n, dtype=np.uint64),
+                rng.integers(1, 9, n).astype(np.float64),
+            )
+            for _ in range(nbatches)
+        ]
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kill_primary_mid_stream_loses_nothing(self, transport):
+        batches = self._streams()
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, **_transport_kwargs(transport, replicas=1)
+        ) as sharded:
+            epoch0 = sharded.map_epoch
+            for rows, cols, vals in batches[:3]:
+                sharded.update(rows, cols, vals)
+            victim = sharded._pool.primary_slot(0)
+            sharded._pool.processes[victim].kill()
+            sharded._pool.processes[victim].join(timeout=10)
+            for rows, cols, vals in batches[3:]:
+                sharded.update(rows, cols, vals)
+            with deadline(60):
+                _assert_bit_identical(sharded, flat_matrix)
+                assert sharded.map_epoch == epoch0 + 1
+                assert sharded.nvals == flat_matrix.nvals
+                assert sharded.reduce_rowwise("plus").isequal(
+                    flat_matrix.reduce_rowwise("plus")
+                )
+                inc = sharded.incremental
+                if inc.supported and inc.fan_supported:
+                    assert inc.row_traffic().isequal(
+                        flat_matrix.reduce_rowwise("plus")
+                    )
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_failed_promotion_keeps_old_epoch(self, transport):
+        """Primary *and* replica dead: WorkerCrash, epoch untouched."""
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, **_transport_kwargs(transport, replicas=1)
+        ) as sharded:
+            rng = np.random.default_rng(3)
+            sharded.update(
+                rng.integers(0, 2 ** 16, 400, dtype=np.uint64),
+                rng.integers(0, 2 ** 16, 400, dtype=np.uint64),
+                np.ones(400),
+            )
+            epoch0 = sharded.map_epoch
+            pool = sharded._pool
+            for slot in (pool.primary_slot(0), *pool.replica_slots(0)):
+                pool.processes[slot].kill()
+                pool.processes[slot].join(timeout=10)
+            with deadline(60):
+                with pytest.raises(WorkerCrash):
+                    sharded.materialize()
+            assert sharded.map_epoch == epoch0
+            assert not pool.shard_alive(0) and not pool.has_live_replica(0)
+
+    def test_resync_restores_the_failure_budget(self):
+        """After a failover, resync_replicas() re-arms a second failover."""
+        batches = self._streams(seed=97, nbatches=4)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="queue", replicas=1
+        ) as sharded:
+            for rows, cols, vals in batches[:2]:
+                flat.update(rows, cols, vals)
+                sharded.update(rows, cols, vals)
+            pool = sharded._pool
+            first = pool.primary_slot(0)
+            pool.processes[first].kill()
+            pool.processes[first].join(timeout=10)
+            with deadline(60):
+                assert sharded.nvals == flat.materialize().nvals  # failover 1
+                assert sharded.resync_replicas() == 1
+                second = pool.primary_slot(0)
+                assert second != first
+                pool.processes[second].kill()
+                pool.processes[second].join(timeout=10)
+                for rows, cols, vals in batches[2:]:
+                    flat.update(rows, cols, vals)
+                    sharded.update(rows, cols, vals)
+                _assert_bit_identical(sharded, flat.materialize())  # failover 2
+            assert sharded.map_epoch == 2
+
+    def test_rebalance_with_replicas_stays_consistent(self):
+        """Mirrored install/discard: a migration then a failover must agree
+        with the flat reference — the replica tracked the slab moves."""
+        batches = self._streams(seed=13, nbatches=5)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, partition="range",
+            use_processes=True, transport="queue", replicas=1,
+        ) as sharded:
+            for rows, cols, vals in batches:
+                flat.update(rows, cols, vals)
+                sharded.update(rows, cols, vals)
+            report = sharded.rebalance()
+            assert report is not None
+            victim = sharded._pool.primary_slot(report.dest)
+            sharded._pool.processes[victim].kill()
+            sharded._pool.processes[victim].join(timeout=10)
+            with deadline(60):
+                _assert_bit_identical(sharded, flat.materialize())
+
+
+class TestNodeFailover:
+    """SIGKILL a whole NodeAgent: every worker it hosts dies with it
+    (PR_SET_PDEATHSIG), and each shard whose primary lived there must fail
+    over to its replica on the surviving node — zero lost updates."""
+
+    def test_agent_kill_fails_over(self):
+        batches = TestReplicaFailover._streams(seed=29, nbatches=6)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with spawn_local_agents(2) as (addresses, procs):
+            with ShardedHierarchicalMatrix(
+                2, cuts=CUTS, use_processes=True,
+                transport="socket", nodes=addresses, replicas=1,
+            ) as sharded:
+                epoch0 = sharded.map_epoch
+                for rows, cols, vals in batches[:3]:
+                    sharded.update(rows, cols, vals)
+                # The placement staggers replicas across nodes, so killing
+                # agent 0 takes shard 0's primary and shard 1's replica.
+                os.kill(procs[0].pid, signal.SIGKILL)
+                procs[0].join(timeout=10)
+                for rows, cols, vals in batches[3:]:
+                    sharded.update(rows, cols, vals)
+                with deadline(60):
+                    _assert_bit_identical(sharded, flat_matrix)
+                    assert sharded.nvals == flat_matrix.nvals
+                    assert sharded.map_epoch == epoch0 + 1
+                    assert sharded.reduce_columnwise("plus").isequal(
+                        flat_matrix.reduce_columnwise("plus")
+                    )
+
+    def test_both_agents_dead_raises_epoch_intact(self):
+        with spawn_local_agents(2) as (addresses, procs):
+            with ShardedHierarchicalMatrix(
+                2, cuts=CUTS, use_processes=True,
+                transport="socket", nodes=addresses, replicas=1,
+            ) as sharded:
+                sharded.update([1, 2], [3, 4], 1.0)
+                epoch0 = sharded.map_epoch
+                for proc in procs:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    proc.join(timeout=10)
+                with deadline(60):
+                    with pytest.raises(WorkerCrash):
+                        sharded.materialize()
+                assert sharded.map_epoch == epoch0
 
 
 class TestRingLiveness:

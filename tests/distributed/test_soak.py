@@ -1,52 +1,80 @@
-"""Soak test: long randomized op interleaving over the shm transport.
+"""Soak test: long randomized op interleaving over the zero-pickle wires.
 
 Marked ``slow``: a single long scenario rather than a property battery.  A
-process-backed sharded matrix on the shared-memory wire absorbs a randomized
-interleaving of ``ingest`` / ``stats`` / ``materialize`` / ``reduce_incremental``
-/ ``finalize`` / point reads, and after *every* read the incrementally
-maintained tracker statistics must agree bit-for-bit with the materialize
-path and with a flat reference fed the same stream — i.e. the zero-pickle
-wire never drops, duplicates, reorders-across-a-barrier, or corrupts a batch
-no matter how reads and writes interleave with the ring's backpressure.
+process-backed sharded matrix on the shared-memory wire — and, since PR 7,
+on the socket wire through local :class:`~repro.distributed.NodeAgent`
+endpoints — absorbs a randomized interleaving of ``ingest`` / ``stats`` /
+``materialize`` / ``reduce_incremental`` / ``finalize`` / point reads, and
+after *every* read the incrementally maintained tracker statistics must
+agree bit-for-bit with the materialize path and with a flat reference fed
+the same stream — i.e. the packed-key wire never drops, duplicates,
+reorders-across-a-barrier, or corrupts a batch no matter how reads and
+writes interleave with the transport's backpressure.
 
 Deselect with ``-m "not slow"`` when iterating locally.
 """
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 import pytest
 
 from repro.core import HierarchicalMatrix
-from repro.distributed import ShardedHierarchicalMatrix, shm_supported
+from repro.distributed import (
+    ShardedHierarchicalMatrix,
+    shm_supported,
+    spawn_local_agents,
+)
 
-pytestmark = [
-    pytest.mark.slow,
-    pytest.mark.skipif(
-        not shm_supported(None), reason="shm transport unavailable on this host"
-    ),
-]
+pytestmark = pytest.mark.slow
 
 CUTS = [300, 3_000]
 NSHARDS = 3
 OPS = 120
 MAX_BATCH = 400
 
+#: The wires under soak.  shm additionally needs the host to support
+#: shared-memory rings; socket runs everywhere a loopback TCP stack exists.
+WIRES = [
+    pytest.param(
+        "shm",
+        marks=pytest.mark.skipif(
+            not shm_supported(None),
+            reason="shm transport unavailable on this host",
+        ),
+    ),
+    pytest.param("socket"),
+]
 
+
+@contextlib.contextmanager
+def _soak_matrix(wire, partition):
+    kwargs = {"use_processes": True, "transport": wire}
+    if wire == "shm":
+        # Small rings so the soak exercises backpressure.
+        kwargs["ring_slots"] = 1 << 10
+    with contextlib.ExitStack() as stack:
+        if wire == "socket":
+            addresses, _procs = stack.enter_context(spawn_local_agents(2))
+            kwargs["nodes"] = addresses
+        sharded = stack.enter_context(
+            ShardedHierarchicalMatrix(
+                NSHARDS, cuts=CUTS, partition=partition, **kwargs
+            )
+        )
+        assert sharded.transport == wire
+        yield sharded
+
+
+@pytest.mark.parametrize("wire", WIRES)
 @pytest.mark.parametrize("partition", ["hash", "range"])
-def test_soak_interleaved_ops_stay_bit_identical(partition):
+def test_soak_interleaved_ops_stay_bit_identical(wire, partition):
     rng = np.random.default_rng(2024)
     flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
     total = 0
-    with ShardedHierarchicalMatrix(
-        NSHARDS,
-        cuts=CUTS,
-        partition=partition,
-        use_processes=True,
-        transport="shm",
-        ring_slots=1 << 10,  # small rings so the soak exercises backpressure
-    ) as sharded:
-        assert sharded.transport == "shm"
+    with _soak_matrix(wire, partition) as sharded:
         for step in range(OPS):
             op = rng.choice(
                 ["ingest", "ingest", "ingest", "stats", "materialize", "reduce", "get"]

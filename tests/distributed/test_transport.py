@@ -1,17 +1,20 @@
 """Transport conformance suite: every wire must produce bit-identical results.
 
-One battery runs over all three worker modes — in-process states, the queue
-transport (pickled FIFO queues), and the shm transport (shared-memory ring
-buffers) — asserting that a :class:`~repro.distributed.ShardedHierarchicalMatrix`
-fed a stream ``materialize``s, ``get``s, and reduces bit-identically to a flat
+One battery runs over all four worker modes — in-process states, the queue
+transport (pickled FIFO queues), the shm transport (shared-memory ring
+buffers), and the socket transport (TCP connections to
+:class:`~repro.distributed.NodeAgent` endpoints, PR 7) — asserting that a
+:class:`~repro.distributed.ShardedHierarchicalMatrix` fed a stream
+``materialize``s, ``get``s, and reduces bit-identically to a flat
 :class:`~repro.core.HierarchicalMatrix` fed the same stream.  Hypothesis
 drives shard counts, partitions, batch shapes, and both coordinate engines,
 so the guarantee that made the sharded engine shippable in PR 2 is now
 enforced *per transport* (PR 4) — a new wire cannot land without passing
 exactly this battery.
 
-CI runs the process-backed halves separately via ``-k queue`` / ``-k shm``
-(the transport matrix); the mode name is embedded in every test id.
+CI runs the process-backed thirds separately via ``-k queue`` / ``-k shm`` /
+``-k socket`` (the transport matrix); the mode name is embedded in every
+test id.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.distributed import (
     ValueCodec,
     make_transport,
     shm_supported,
+    spawn_local_agents,
 )
 from repro.graphblas import coords
 
@@ -41,9 +45,48 @@ MODES = [
     ("inproc", {"use_processes": False}),
     ("queue", {"use_processes": True, "transport": "queue"}),
     ("shm", {"use_processes": True, "transport": "shm"}),
+    ("socket", {"use_processes": True, "transport": "socket"}),
 ]
 MODE_IDS = [m[0] for m in MODES]
 MODE_KWARGS = dict(MODES)
+
+#: Lazily spawned localhost NodeAgent pair serving every socket-mode test in
+#: this module (one pair for the module keeps the battery fast; each test's
+#: pool still forks fresh workers through them).  Torn down by the autouse
+#: fixture below.
+_SOCKET_AGENTS = None
+
+
+def _socket_nodes():
+    global _SOCKET_AGENTS
+    if _SOCKET_AGENTS is None:
+        cm = spawn_local_agents(2)
+        addresses, _procs = cm.__enter__()
+        _SOCKET_AGENTS = (cm, addresses)
+    return list(_SOCKET_AGENTS[1])
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _socket_agent_teardown():
+    yield
+    global _SOCKET_AGENTS
+    if _SOCKET_AGENTS is not None:
+        _SOCKET_AGENTS[0].__exit__(None, None, None)
+        _SOCKET_AGENTS = None
+
+
+def mode_kwargs(mode):
+    """Pool kwargs for one mode; socket mode gets the shared local agents.
+
+    Note the engine-toggle caveat: socket workers are forked by the agents,
+    which started before any test entered ``packing_disabled()`` — so the
+    lexsort examples exercise the toggle in the *reference* only.  Bit
+    identity must hold anyway (the engines' own conformance contract).
+    """
+    kwargs = dict(MODE_KWARGS[mode])
+    if kwargs.get("transport") == "socket":
+        kwargs["nodes"] = _socket_nodes()
+    return kwargs
 
 
 def mode_param():
@@ -82,7 +125,7 @@ def run_battery(mode, batches, *, nshards, partition, nrows=2 ** 32, ncols=2 ** 
         ncols,
         cuts=CUTS,
         partition=partition,
-        **MODE_KWARGS[mode],
+        **mode_kwargs(mode),
     ) as sharded:
         for rows, cols, vals in batches:
             sharded.update(rows, cols, vals)
@@ -159,7 +202,7 @@ def run_rebalance_battery(
         ncols,
         cuts=CUTS,
         partition=partition,
-        **MODE_KWARGS[mode],
+        **mode_kwargs(mode),
     ) as sharded:
         epoch0 = sharded.map_epoch
         migrations = 0
@@ -247,7 +290,7 @@ class TestConformanceGrid:
     @mode_param()
     def test_scalar_broadcast_and_odd_batches(self, mode):
         """Scalar values, 1-element batches, and duplicate coordinates."""
-        with ShardedHierarchicalMatrix(2, cuts=CUTS, **MODE_KWARGS[mode]) as sharded:
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, **mode_kwargs(mode)) as sharded:
             sharded.update(5, 6)
             sharded.update([5, 5, 9], [6, 6, 1], 2.0)
             sharded.update(np.array([9]), np.array([1]), np.array([0.5]))
@@ -456,7 +499,7 @@ class TestKeyOnlyFrames:
         """Scalar-1 defaults and all-ones arrays match the flat reference."""
         rng = np.random.default_rng(17)
         flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
-        with ShardedHierarchicalMatrix(2, cuts=CUTS, **MODE_KWARGS[mode]) as sharded:
+        with ShardedHierarchicalMatrix(2, cuts=CUTS, **mode_kwargs(mode)) as sharded:
             for i in range(3):
                 rows = rng.integers(0, 2 ** 16, 200, dtype=np.uint64)
                 cols = rng.integers(0, 2 ** 16, 200, dtype=np.uint64)
@@ -528,6 +571,17 @@ class TestTransportSelection:
         with pytest.raises(ValueError):
             ShardWorkerPool(1, use_processes=True, transport="carrier-pigeon")
 
+    def test_socket_requires_nodes(self):
+        with pytest.raises(ValueError):
+            make_transport("socket", 1, {"cuts": CUTS})
+
+    def test_socket_transport_in_force(self):
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="socket",
+            nodes=_socket_nodes(),
+        ) as s:
+            assert s.transport == "socket"
+
     def test_shm_supported_predicate(self):
         assert shm_supported({"nrows": 2 ** 32, "ncols": 2 ** 32})
         assert shm_supported(None)
@@ -541,16 +595,23 @@ class TestTransportSelection:
             t.close()
 
 
+def _pool_kwargs(transport):
+    """ShardWorkerPool kwargs per wire (socket needs the agent endpoints)."""
+    kwargs = {"use_processes": True, "transport": transport}
+    if transport == "socket":
+        kwargs["nodes"] = _socket_nodes()
+    return kwargs
+
+
 class TestBarrierSemantics:
     """A reply-bearing command is a barrier for every earlier ingest."""
 
-    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    @pytest.mark.parametrize("transport", ["queue", "shm", "socket"])
     def test_reads_observe_all_prior_batches(self, transport):
         with ShardWorkerPool(
             1,
             matrix_kwargs={"cuts": CUTS},
-            use_processes=True,
-            transport=transport,
+            **_pool_kwargs(transport),
         ) as pool:
             total = 0
             for b in range(20):
@@ -561,13 +622,12 @@ class TestBarrierSemantics:
             assert stats["updates"] == total
             assert pool.request(0, "finalize")["total_updates"] == total
 
-    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    @pytest.mark.parametrize("transport", ["queue", "shm", "socket"])
     def test_clear_then_reingest(self, transport):
         with ShardWorkerPool(
             1,
             matrix_kwargs={"cuts": CUTS},
-            use_processes=True,
-            transport=transport,
+            **_pool_kwargs(transport),
         ) as pool:
             rows = np.arange(10, dtype=np.uint64)
             pool.submit(0, "ingest", (rows, rows, np.ones(10)))
@@ -575,7 +635,7 @@ class TestBarrierSemantics:
             pool.submit(0, "ingest", (rows, rows, np.full(10, 2.0)))
             assert pool.request(0, "get", (3, 3)) == 2.0
 
-    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    @pytest.mark.parametrize("transport", ["queue", "shm", "socket"])
     def test_control_interleaved_with_ingest_preserves_fifo(self, transport):
         """Commands submitted *between* batches must not see later batches.
 
@@ -587,8 +647,7 @@ class TestBarrierSemantics:
         with ShardWorkerPool(
             1,
             matrix_kwargs={"cuts": CUTS},
-            use_processes=True,
-            transport=transport,
+            **_pool_kwargs(transport),
         ) as pool:
             rows = np.arange(10, dtype=np.uint64)
             pool.submit(0, "ingest", (rows, rows, np.ones(10)))
@@ -600,14 +659,13 @@ class TestBarrierSemantics:
             assert pool.collect(0) == 2.0  # get: exactly batch B survived
             assert pool.collect(0)["updates"] == 10  # stats: B only
 
-    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    @pytest.mark.parametrize("transport", ["queue", "shm", "socket"])
     def test_many_interleaved_controls_stay_ordered(self, transport):
         """A stats burst between every batch observes exact running counts."""
         with ShardWorkerPool(
             1,
             matrix_kwargs={"cuts": CUTS},
-            use_processes=True,
-            transport=transport,
+            **_pool_kwargs(transport),
         ) as pool:
             for b in range(8):
                 rows = np.arange(b * 20, b * 20 + 20, dtype=np.uint64)
