@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Five commands mirror the paper's experiments and the serving architecture:
+Six commands mirror the paper's experiments and the serving architecture:
 
 * ``repro-ingest`` — measure the single-instance streaming update rate
   (Headline A: "over 1,000,000 updates per second in a single instance");
@@ -13,7 +13,10 @@ Five commands mirror the paper's experiments and the serving architecture:
   and report per-shard and aggregate rates plus the globally merged matrix;
 * ``repro-node`` — host shard workers behind a listening TCP endpoint, the
   agent half of multi-node serving (``repro-shard --transport socket
-  --nodes host:port,...`` is the router half).
+  --nodes host:port,...`` is the router half);
+* ``repro-gateway`` — serve a sharded matrix behind the asyncio ingest
+  gateway (``serve``), stream a synthetic workload into a running gateway as
+  a client (``send``), or query its snapshot statistics (``stats``).
 
 Every command prints plain aligned text so output can be diffed against
 ``EXPERIMENTS.md``.
@@ -51,7 +54,14 @@ from .workloads import (
     synthetic_packets,
 )
 
-__all__ = ["main_ingest", "main_scaling", "main_fig2", "main_shard", "main_node"]
+__all__ = [
+    "main_ingest",
+    "main_scaling",
+    "main_fig2",
+    "main_shard",
+    "main_node",
+    "main_gateway",
+]
 
 
 def _exact_stream(batches, total: int):
@@ -354,29 +364,32 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
             # every other shard while a slab moves, and batches routed before
             # a migration are fenced by the transport barrier ordering.
             check_every = max(expected_batches // 4, 1)
-            interval = check_every
+            rebalancer = None
+            if args.rebalance == "auto":
+                # The policy (trigger/settle hysteresis, cool-down after a
+                # migration, fruitless-check back-off) lives in the service
+                # layer's AutoRebalancer; this loop just advances its clock
+                # in batch units so the cadence stays stream-relative.
+                from .service import AutoRebalancer
+
+                rebalancer = AutoRebalancer(
+                    matrix,
+                    trigger=args.imbalance_threshold,
+                    interval=float(check_every),
+                    cooldown=float(check_every),
+                    clock=lambda: 0.0,
+                )
             count = 0
-            next_check = check_every
             for batch in stream:
                 rows, cols, values = normalize_batch(batch)
                 matrix.update(rows, cols, values)
                 count += 1
-                if args.rebalance == "auto" and count >= next_check:
-                    report = matrix.rebalance(threshold=args.imbalance_threshold)
-                    # A fruitless check (None while skewed — e.g. one hot
-                    # coordinate dominates and no slab can move) doubles the
-                    # interval so the worker-side scan is not repeated every
-                    # cadence; a completed migration re-arms the base rate.
-                    interval = check_every if report is not None else interval * 2
-                    next_check = count + interval
-                elif args.rebalance == "manual" and count == max(
-                    expected_batches // 2, 1
-                ):
+                if rebalancer is not None:
+                    rebalance_events.extend(rebalancer.maybe_step(now=float(count)))
+                elif count == max(expected_batches // 2, 1):
                     report = matrix.rebalance()
-                else:
-                    report = None
-                if report is not None:
-                    rebalance_events.append(report)
+                    if report is not None:
+                        rebalance_events.append(report)
             total = matrix.total_updates
         matrix.finalize()
         wall = time.perf_counter() - wall_start
@@ -516,6 +529,210 @@ def main_node(argv: Optional[Sequence[str]] = None) -> int:
         pass
     finally:
         agent.close()
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-gateway
+# --------------------------------------------------------------------------- #
+
+
+def main_gateway(argv: Optional[Sequence[str]] = None) -> int:
+    """Serve, feed, or query the asyncio ingest gateway."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gateway",
+        description="Async ingestion gateway over a sharded hierarchical matrix: "
+        "'serve' hosts one, 'send' streams a synthetic workload into it as a "
+        "client, 'stats' queries its snapshot statistics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="host a gateway over a sharded matrix")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default 0: pick a free port and print it)",
+    )
+    serve.add_argument("--shards", type=int, default=2, help="number of shards K")
+    serve.add_argument("--partition", choices=["hash", "range"], default="hash")
+    serve.add_argument("--cuts", type=_parse_cuts, default=[2 ** 17, 2 ** 20, 2 ** 23])
+    serve.add_argument(
+        "--processes", action="store_true",
+        help="back shards with long-lived worker processes",
+    )
+    serve.add_argument(
+        "--transport", choices=["queue", "shm", "socket"], default="queue",
+        help="worker wire with --processes (see repro-shard --help)",
+    )
+    serve.add_argument(
+        "--nodes", metavar="HOST:PORT,...", default=None,
+        help="repro-node agent endpoints for --transport socket",
+    )
+    serve.add_argument("--replicas", type=int, default=0, help="replica workers per shard")
+    serve.add_argument(
+        "--coalesce", type=int, default=8192,
+        help="updates per coalesced router batch (default 8192)",
+    )
+    serve.add_argument(
+        "--auto-rebalance", action="store_true",
+        help="run the hands-off AutoRebalancer policy alongside ingest",
+    )
+    serve.add_argument(
+        "--imbalance-threshold", type=float, default=1.5,
+        help="auto-rebalance trigger: max/mean per-shard nnz ratio (default 1.5)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then exit (default: until interrupted)",
+    )
+
+    send = sub.add_parser("send", help="stream a synthetic workload into a gateway")
+    send.add_argument("address", help="gateway HOST:PORT")
+    send.add_argument("--updates", type=int, default=100_000, help="total element updates")
+    send.add_argument("--batch-size", type=int, default=1_000, help="updates per client batch")
+    send.add_argument(
+        "--source", choices=["powerlaw", "traffic"], default="powerlaw",
+        help="synthetic stream to send",
+    )
+    send.add_argument("--seed", type=int, default=0)
+    send.add_argument("--json", action="store_true")
+
+    stats = sub.add_parser("stats", help="query a running gateway's statistics")
+    stats.add_argument("address", help="gateway HOST:PORT")
+    stats.add_argument("--top", type=int, default=5, help="supernodes to list")
+    stats.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        from .distributed.node import format_address
+        from .service import AutoRebalancer, IngestGateway
+
+        nodes = None
+        if args.nodes is not None:
+            nodes = [part.strip() for part in args.nodes.split(",") if part.strip()]
+            if args.transport != "socket":
+                serve.error("--nodes requires --transport socket")
+        if args.transport == "socket" and nodes is None:
+            serve.error("--transport socket requires --nodes host:port,...")
+        matrix = ShardedHierarchicalMatrix(
+            args.shards,
+            2 ** 32,
+            2 ** 32,
+            cuts=args.cuts,
+            partition=args.partition,
+            use_processes=args.processes or nodes is not None,
+            transport=args.transport,
+            nodes=nodes,
+            replicas=args.replicas,
+        )
+        rebalancer = None
+        if args.auto_rebalance:
+            rebalancer = AutoRebalancer(matrix, trigger=args.imbalance_threshold)
+        gateway = IngestGateway(
+            matrix,
+            host=args.host,
+            port=args.port,
+            coalesce_updates=args.coalesce,
+            rebalancer=rebalancer,
+            own_matrix=True,
+        )
+        gateway.start()
+        # The connect string clients pass; printed first and flushed so
+        # wrappers that spawn gateways can scrape the chosen port.
+        print(f"gateway listening on {format_address(gateway.address)}", flush=True)
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:  # pragma: no cover - interactive serving
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            gateway.close()
+        metrics = gateway.metrics()
+        print(f"clients served:        {metrics['clients_total']}")
+        print(f"updates routed:        {metrics['routed_updates']:,}")
+        print(f"batches routed:        {metrics['routed_batches']:,}")
+        return 0
+
+    from .service import GatewayClient
+
+    if args.command == "send":
+        if args.source == "traffic":
+            nwindows = max(-(-args.updates // args.batch_size), 1)
+            stream = _exact_stream(
+                synthetic_packets(args.batch_size, nwindows, seed=args.seed),
+                args.updates,
+            )
+        else:
+            nbatches = max(-(-args.updates // args.batch_size), 1)
+            stream = _exact_stream(
+                paper_stream(
+                    total_entries=nbatches * args.batch_size,
+                    nbatches=nbatches,
+                    seed=args.seed,
+                ),
+                args.updates,
+            )
+        with GatewayClient(args.address) as client:
+            start = time.perf_counter()
+            batches = 0
+            for rows, cols, values in stream:
+                client.update(rows, cols, values)
+                batches += 1
+            ack = client.sync()
+            elapsed = time.perf_counter() - start
+        rate = ack["acked"] / elapsed if elapsed > 0 else 0.0
+        if args.json:
+            print(json.dumps({
+                "sent_updates": client.sent_updates,
+                "acked_updates": ack["acked"],
+                "batches": batches,
+                "seconds": elapsed,
+                "updates_per_second": rate,
+                "epoch": ack["epoch"],
+            }, indent=2))
+        else:
+            print(f"sent updates:          {client.sent_updates:,}")
+            print(f"acked updates:         {ack['acked']:,}")
+            print(f"batches:               {batches:,}")
+            print(f"seconds:               {elapsed:.3f}")
+            print(f"rate:                  {rate:,.0f} updates/s")
+            print(f"map epoch:             {ack['epoch']}")
+        return 0
+
+    with GatewayClient(args.address) as client:
+        summary = client.stats()
+        supernodes = client.top(args.top)
+        events = client.rebalance_events()
+        epoch = client.epoch()
+    if args.json:
+        print(json.dumps({
+            "stats": summary,
+            "supernodes": supernodes,
+            "rebalance_events": events,
+            "map_epoch": epoch,
+        }, indent=2))
+    else:
+        print(f"map epoch:             {epoch}")
+        print(f"nnz:                   {summary['nnz']:,.0f}")
+        print(f"total traffic:         {summary['total_traffic']:,.0f}")
+        print(f"active sources:        {summary['active_sources']:,.0f}")
+        print(f"active destinations:   {summary['active_destinations']:,.0f}")
+        print(f"max out/in degree:     {summary['max_out_degree']:,.0f} / "
+              f"{summary['max_in_degree']:,.0f}")
+        print(f"{'source':>12} {'traffic':>12} {'fan-out':>8}")
+        for ident, traffic, fan in supernodes["top_sources"]:
+            print(f"{ident:>12} {traffic:>12,.0f} {fan:>8}")
+        print(f"rebalance events:      {len(events)}")
+        for ev in events:
+            print(
+                f"  epoch {ev['epoch']}: shard {ev['source']} -> {ev['dest']}, "
+                f"{ev['moved']:,} entries, imbalance before "
+                f"{ev['imbalance_before']:.3f}"
+            )
     return 0
 
 

@@ -157,6 +157,12 @@ class HierarchicalMatrix:
         # Per-layer count of total updates at the time of that layer's last
         # cascade; used to feed adaptive policies.
         self._last_cascade_at = [0] * self._nlevels
+        # Deferred ingest appends each batch to the layer-1 pending buffer
+        # and the tracker backlog in lockstep, so the layer-1 flush's sorted,
+        # collapsed output can serve the tracker's drain for free (the hook
+        # declines and falls back to its own sort on any misalignment).
+        if self._defer_ingest and self._incremental.supported:
+            self._layers[0].flush_hook = self._incremental.absorb_flush
         self.name = name
 
     # ------------------------------------------------------------------ #

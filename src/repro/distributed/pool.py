@@ -251,6 +251,25 @@ class ShardWorkerPool:
         """Whether at least one live replica could take over ``shard``."""
         return any(self._slot_alive(s) for s in self._replicas_of[shard])
 
+    def ingest_pressure(self) -> float:
+        """Worst ingest-wire fill fraction across all live slots (0..1).
+
+        Replica slots count too: mirrored submits block on the slowest
+        mirror, so a congested replica backpressures ingest exactly like a
+        congested primary.  Wires that cannot measure depth contribute no
+        signal; in-process pools report 0.0 (ingest is synchronous).
+        """
+        if self._transport is None:
+            return 0.0
+        worst = 0.0
+        for slot in range(self.nslots):
+            if slot in self._dead:
+                continue
+            mark = self._transport.ingest_watermark(slot)
+            if mark is not None and mark > worst:
+                worst = float(mark)
+        return worst
+
     def _mark_replica_dead(self, shard: int, slot: int) -> None:
         self._dead.add(slot)
         if slot in self._replicas_of[shard]:

@@ -496,6 +496,11 @@ class ShardedHierarchicalMatrix:
         return self._dtype
 
     @property
+    def accum(self) -> BinaryOp:
+        """The combining operator every shard applies to duplicate coordinates."""
+        return self._accum
+
+    @property
     def partition(self) -> str:
         """Partitioning strategy in force (``"hash"`` or ``"range"``)."""
         return self._router.partition
@@ -779,6 +784,16 @@ class ShardedHierarchicalMatrix:
     def imbalance(self, by: str = "nnz") -> float:
         """``max(load) / mean(load)`` across shards (1.0 is perfectly even)."""
         return self._imbalance(self.shard_loads(by))
+
+    def ingest_pressure(self) -> float:
+        """Worst ingest-wire fill fraction across worker slots (0..1).
+
+        Surfaces the transport watermarks (ring occupancy, task-queue depth,
+        kernel send-queue bytes) so the service layer can derive admission
+        control from real wire state instead of guessing.  0.0 when the wire
+        has no signal or the shards are in-process.
+        """
+        return self._pool.ingest_pressure()
 
     def rebalance(
         self,

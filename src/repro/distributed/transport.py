@@ -71,6 +71,7 @@ import pickle
 import platform
 import queue as queue_mod
 import socket as socket_mod
+import struct
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -230,6 +231,17 @@ class ShardTransport:
         empty matrix and is caught up via ``checkpoint``/``restore``.
         """
         raise NotImplementedError
+
+    def ingest_watermark(self, worker: int) -> Optional[float]:
+        """Best-effort fill fraction (0..1) of this slot's ingest wire.
+
+        Service-layer admission control (the gateway) pauses client reads
+        while the worst slot sits above its high watermark, so a slow shard
+        backpressures producers instead of growing an unbounded buffer.
+        ``None`` means this wire cannot measure its queue depth; callers
+        treat that as "no signal", not as zero pressure.
+        """
+        return None
 
     @property
     def processes(self) -> List:
@@ -395,6 +407,18 @@ class QueueTransport(ProcessTransport):
     def send_ingest(self, worker: int, rows, cols, values, keys=None) -> None:
         self._tasks[worker].put(("ingest", (rows, cols, values)))
 
+    #: Undrained batches at which the task queue counts as "full" — queues
+    #: are unbounded, so the watermark is nominal rather than a capacity.
+    WATERMARK_DEPTH = 64
+
+    def ingest_watermark(self, worker: int) -> Optional[float]:
+        try:
+            depth = self._tasks[worker].qsize()
+        except (NotImplementedError, OSError):
+            # qsize is unimplemented on some platforms (macOS sem_getvalue).
+            return None
+        return min(1.0, depth / float(self.WATERMARK_DEPTH))
+
 
 # --------------------------------------------------------------------------- #
 # shared-memory ring transport
@@ -534,6 +558,15 @@ class ShmRingTransport(ProcessTransport):
     def rings(self) -> List[ShmRing]:
         """Per-worker rings (parent-side handles; exposed for tests)."""
         return list(self._rings)
+
+    def ingest_watermark(self, worker: int) -> Optional[float]:
+        ring = self._rings[worker]
+        try:
+            if ring.closed:
+                return None
+            return min(1.0, ring.used / float(ring.capacity))
+        except (OSError, ValueError):  # pragma: no cover - torn-down shm
+            return None
 
     def _reset_slot_channels(self, worker: int) -> None:
         # A worker killed mid-pop can leave the ring's read watermark stale;
@@ -741,6 +774,25 @@ class SocketTransport(ShardTransport):
             node_mod.F_DATA_PICKLED,
             pickle.dumps((rows, cols, values), protocol=pickle.HIGHEST_PROTOCOL),
         )
+
+    def ingest_watermark(self, worker: int) -> Optional[float]:
+        # Linux SIOCOUTQ (== TIOCOUTQ): bytes queued in the kernel send
+        # buffer that the worker has not yet drained, normalised by the
+        # socket's send-buffer size.  Not available on every platform, so
+        # any failure degrades to "no signal".
+        try:
+            import fcntl
+            import termios
+
+            conn = self._conns[worker]
+            raw = fcntl.ioctl(conn.fileno(), termios.TIOCOUTQ, b"\x00" * 4)
+            unsent = struct.unpack("@i", raw)[0]
+            sndbuf = conn.getsockopt(socket_mod.SOL_SOCKET, socket_mod.SO_SNDBUF)
+            if sndbuf <= 0:
+                return None
+            return min(1.0, max(0, unsent) / float(sndbuf))
+        except (ImportError, AttributeError, OSError, ValueError):
+            return None
 
     def send_control(self, worker: int, cmd: str, payload=None) -> None:
         try:

@@ -87,6 +87,7 @@ class Matrix:
         "_pend_vals",
         "_pend_count",
         "_pend_op",
+        "flush_hook",
         "name",
     )
 
@@ -106,6 +107,13 @@ class Matrix:
         self._pend_vals: list = []
         self._pend_count = 0
         self._pend_op: Optional[BinaryOp] = None
+        # Optional observer of pending-buffer flushes.  Called from _wait()
+        # as hook(raw_count, op, rows, cols, vals, keys, spec) with the
+        # sorted, duplicate-collapsed flush output (keys/spec may be None
+        # when the shape does not pack); raw_count is the pre-collapse
+        # pending size.  HierarchicalMatrix points this at its incremental
+        # reduction tracker so stats drains ride the flush's sort.
+        self.flush_hook = None
         self.name = name
 
     # -- alternate constructors ----------------------------------------- #
@@ -286,6 +294,7 @@ class Matrix:
         """
         if self._pend_count == 0:
             return
+        raw_count = self._pend_count
         op = self._pend_op if self._pend_op is not None else binary.second
         if len(self._pend_rows) == 1:
             pr, pc, pv = self._pend_rows[0], self._pend_cols[0], self._pend_vals[0]
@@ -313,6 +322,8 @@ class Matrix:
             b_keys=pk,
             b_spec=pspec,
         )
+        if self.flush_hook is not None:
+            self.flush_hook(raw_count, op, pr, pc, pv, pk, pspec)
 
     def wait(self) -> "Matrix":
         """Public ``GrB_wait`` equivalent; returns ``self`` for chaining."""

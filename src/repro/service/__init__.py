@@ -1,0 +1,44 @@
+"""Service layer: the always-on front door over the sharded engine.
+
+The library below this package is caller-driven: one thread owns a
+:class:`~repro.distributed.ShardedHierarchicalMatrix`, streams batches into
+it, and decides when to poll :meth:`imbalance` and migrate slabs.  The paper's
+deployment story — a traffic matrix absorbing updates from millions of
+independent sensors while dashboards read stats continuously — needs the
+opposite shape: many small writers, occasional readers, nobody in charge.
+This package provides it as a composition of already-tested mechanisms:
+
+* :class:`IngestGateway` — an ``asyncio`` server speaking the PR-7
+  length-prefixed socket frames.  Each client connection contributes small
+  update batches; a :class:`BatchCoalescer` regroups them into router-sized
+  batches, admission control rejects malformed traffic at the door, and
+  backpressure derived from the transport watermarks
+  (:meth:`ShardTransport.ingest_watermark
+  <repro.distributed.transport.ShardTransport.ingest_watermark>`) pauses
+  socket reads — filling TCP windows — instead of buffering unboundedly.
+* :class:`GatewayClient` — the blocking client: binary update frames in,
+  epoch-tagged snapshot reads (stats / top-K / point lookups) back.
+* :class:`AutoRebalancer` — the hands-off placement policy: trigger/settle
+  hysteresis around :meth:`imbalance`, cool-down after migrations, and
+  nnz- or traffic-weighted slab placement, replacing the polling loop that
+  previously lived in ``cli.py``.
+
+All matrix access happens on the gateway's event-loop thread (the rebalancer
+thread dispatches its policy steps onto the loop), so snapshot reads are
+trivially consistent with the epoch they report and no lock ever guards the
+hierarchy.
+"""
+
+from .coalesce import BatchCoalescer, CoalescedBatch
+from .rebalancer import AutoRebalancer
+from .gateway import GatewayError, IngestGateway
+from .client import GatewayClient
+
+__all__ = [
+    "AutoRebalancer",
+    "BatchCoalescer",
+    "CoalescedBatch",
+    "GatewayClient",
+    "GatewayError",
+    "IngestGateway",
+]

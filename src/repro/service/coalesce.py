@@ -1,0 +1,157 @@
+"""Coalescing of small per-client update batches into router-sized batches.
+
+Gateway clients send whatever batch sizes their sensors produce — often a
+handful of updates at a time — while the sharded router amortises its packing
+and per-shard masking over large batches.  :class:`BatchCoalescer` bridges the
+two: it buffers incoming per-client batches in arrival order and emits
+:class:`CoalescedBatch` objects of bounded size, carrying per-client segment
+counts so the gateway can acknowledge exactly the updates that were applied.
+
+Invariants (property-tested in ``tests/service/test_coalesce.py``):
+
+* **Order**: within one client, updates appear in emitted batches in the
+  order they arrived (batches are only ever split, never reordered), and the
+  global emission order respects arrival order too.
+* **Bound**: no emitted batch exceeds ``max_updates`` — oversized incoming
+  batches are split — and after every :meth:`add` fewer than ``max_updates``
+  updates remain buffered.
+* **Single combiner**: a batch mixes no operators.  An operator switch
+  flushes the buffer first, mirroring the pending-buffer rule of
+  :meth:`Matrix._append_pending <repro.graphblas.matrix.Matrix>`.
+
+All-ones batches stay symbolic (``values`` is the scalar ``1``) so the
+gateway's ingest path preserves the key-only wire optimisation end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphblas import _kernels as K
+
+__all__ = ["BatchCoalescer", "CoalescedBatch"]
+
+
+@dataclass
+class CoalescedBatch:
+    """One router-ready batch regrouped from per-client updates."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    #: Per-update values, or the scalar ``1`` when every contributing chunk
+    #: was an all-ones (key-only) batch.
+    values: object
+    #: Combine operator name shared by every update in the batch.
+    op: str
+    #: ``(client, count)`` in arrival order; counts sum to :attr:`size`.
+    segments: List[Tuple[object, int]]
+
+    @property
+    def size(self) -> int:
+        return int(self.rows.size)
+
+
+class BatchCoalescer:
+    """Accumulate per-client updates; emit bounded, single-operator batches.
+
+    Parameters
+    ----------
+    max_updates:
+        Hard per-batch size bound (also the buffering bound: at most
+        ``max_updates - 1`` updates are ever held between calls).
+    """
+
+    def __init__(self, max_updates: int = 8192):
+        self.max_updates = max(int(max_updates), 1)
+        self._chunks: Deque[Tuple[object, np.ndarray, np.ndarray, Optional[np.ndarray]]] = deque()
+        self._count = 0
+        self._op: Optional[str] = None
+
+    @property
+    def pending_updates(self) -> int:
+        """Updates currently buffered (always ``< max_updates`` after add)."""
+        return self._count
+
+    @property
+    def pending_op(self) -> Optional[str]:
+        """Operator of the buffered updates (``None`` when empty)."""
+        return self._op if self._count else None
+
+    def add(self, client, rows, cols, values=1, *, op: str = "plus") -> List[CoalescedBatch]:
+        """Buffer one client batch; return every batch that became emittable.
+
+        A different ``op`` than the buffered one flushes the buffer first
+        (single-combiner rule); then full ``max_updates`` batches are peeled
+        off while the buffer holds at least that many updates.
+        """
+        out: List[CoalescedBatch] = []
+        if self._count and self._op is not None and op != self._op:
+            out.append(self._emit(self._count))
+        self._op = op
+        r = K.as_index_array(rows, "rows")
+        c = K.as_index_array(cols, "cols")
+        if r.size != c.size:
+            raise ValueError(f"rows/cols length mismatch: {r.size} != {c.size}")
+        if r.size == 0:
+            return out
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            # Scalar 1 stays symbolic (key-only wire); other scalars broadcast.
+            v = None if values == 1 else np.full(r.size, values, dtype=np.float64)
+        else:
+            v = np.asarray(values)
+            if v.size != r.size:
+                raise ValueError(f"values length mismatch: {v.size} != {r.size}")
+        self._chunks.append((client, r, c, v))
+        self._count += r.size
+        while self._count >= self.max_updates:
+            out.append(self._emit(self.max_updates))
+        return out
+
+    def flush(self) -> Optional[CoalescedBatch]:
+        """Emit whatever is buffered (or ``None``); empties the buffer."""
+        if self._count == 0:
+            return None
+        return self._emit(self._count)
+
+    def _emit(self, limit: int) -> CoalescedBatch:
+        take: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
+        segments: List[Tuple[object, int]] = []
+        remaining = limit
+        while remaining > 0 and self._chunks:
+            client, r, c, v = self._chunks[0]
+            if r.size <= remaining:
+                self._chunks.popleft()
+                take.append((r, c, v))
+                segments.append((client, int(r.size)))
+                remaining -= r.size
+            else:
+                take.append((r[:remaining], c[:remaining], None if v is None else v[:remaining]))
+                segments.append((client, remaining))
+                self._chunks[0] = (
+                    client,
+                    r[remaining:],
+                    c[remaining:],
+                    None if v is None else v[remaining:],
+                )
+                remaining = 0
+        emitted = limit - remaining
+        self._count -= emitted
+        if len(take) == 1:
+            rows, cols, vals = take[0]
+        else:
+            rows = np.concatenate([t[0] for t in take])
+            cols = np.concatenate([t[1] for t in take])
+            vals = None
+            if any(t[2] is not None for t in take):
+                vals = np.concatenate(
+                    [np.ones(t[0].size, dtype=np.float64) if t[2] is None else t[2] for t in take]
+                )
+        values = 1 if vals is None else vals
+        return CoalescedBatch(rows=rows, cols=cols, values=values, op=self._op or "plus", segments=segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BatchCoalescer pending={self._count}/{self.max_updates} op={self._op!r}>"

@@ -1,0 +1,215 @@
+"""Hands-off rebalance policy: hysteresis, cool-down, weighted placement.
+
+PR 5 gave the engine live slab migration (:meth:`ShardedHierarchicalMatrix.
+rebalance`) but left *when to migrate* to the caller — ``repro-shard
+--rebalance auto`` polled :meth:`imbalance` on a hand-rolled schedule inside
+its stream loop.  :class:`AutoRebalancer` owns that policy instead:
+
+* **Trigger/settle hysteresis** — migrations start only once
+  ``imbalance() > trigger`` and then continue until it drops to ``settle``
+  (< trigger), so the policy neither thrashes around one threshold nor stops
+  half-balanced.
+* **Cool-down** — after a migration burst the policy sleeps ``cooldown``
+  seconds before re-measuring, letting the re-routed stream settle before it
+  is judged again.
+* **Fruitless-check back-off** — a triggered check that moved nothing (e.g.
+  one hot shard that owns a single slab) doubles the check interval up to
+  ``max_backoff`` times, bounding measurement overhead on streams the policy
+  cannot help; any successful migration or settled measurement re-arms it.
+* **Weighted placement** — ``by="nnz"`` balances stored entries (memory),
+  ``by="traffic"`` balances observed update weight (load); both are served
+  by the shards' incremental trackers without materialising.
+
+The policy object is deliberately passive: :meth:`step` performs one
+measure-and-maybe-migrate decision and :meth:`maybe_step` rate-limits it, so
+a stream loop can drive it inline (``cli.py`` does).  :meth:`start` runs it
+as a background thread; because the matrix is not thread-safe, the thread
+accepts a ``dispatch`` callable that marshals each step onto the thread that
+owns the matrix — the :class:`~repro.service.IngestGateway` passes its
+event-loop dispatcher.  Only use the threaded mode without ``dispatch`` when
+nothing else touches the matrix concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from ..graphblas.errors import InvalidValue
+
+__all__ = ["AutoRebalancer"]
+
+
+class AutoRebalancer:
+    """Background trigger/settle rebalance policy over a sharded matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`~repro.distributed.ShardedHierarchicalMatrix`.
+    by:
+        Load metric driving placement: ``"nnz"`` or ``"traffic"``.
+    trigger:
+        Imbalance (``max/mean``, ≥ 1) above which migration starts.
+    settle:
+        Imbalance at which migration stops (default: halfway between 1 and
+        ``trigger``).  Must satisfy ``1 <= settle <= trigger``.
+    fraction:
+        Fraction of the source/dest load difference each migration moves.
+    interval:
+        Seconds between imbalance checks when balanced.
+    cooldown:
+        Seconds to wait after a migration burst before re-measuring.
+    max_migrations_per_step:
+        Bound on migrations per policy step (each moves ``fraction`` of the
+        remaining gap, so a handful converges).
+    max_backoff:
+        Cap on the fruitless-check interval multiplier.
+    clock:
+        Injectable monotonic clock (tests drive hysteresis deterministically).
+    """
+
+    def __init__(
+        self,
+        matrix,
+        *,
+        by: str = "nnz",
+        trigger: float = 1.5,
+        settle: Optional[float] = None,
+        fraction: float = 0.5,
+        interval: float = 0.25,
+        cooldown: float = 1.0,
+        max_migrations_per_step: int = 4,
+        max_backoff: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if by not in ("nnz", "traffic"):
+            raise InvalidValue(f"load metric must be 'nnz' or 'traffic', got {by!r}")
+        trigger = float(trigger)
+        if trigger < 1.0:
+            raise InvalidValue(f"trigger must be >= 1.0, got {trigger}")
+        settle = float(settle) if settle is not None else 1.0 + (trigger - 1.0) / 2.0
+        if not (1.0 <= settle <= trigger):
+            raise InvalidValue(f"settle must lie in [1.0, trigger], got {settle}")
+        self._matrix = matrix
+        self._by = by
+        self._trigger = trigger
+        self._settle = settle
+        self._fraction = float(fraction)
+        self._interval = max(float(interval), 0.0)
+        self._cooldown = max(float(cooldown), 0.0)
+        self._max_migrations = max(int(max_migrations_per_step), 1)
+        self._max_backoff = max(int(max_backoff), 1)
+        self._clock = clock
+        #: Every migration the policy performed, in order (RebalanceReport).
+        self.events: List = []
+        #: Imbalance checks that triggered / migrated nothing (diagnostics).
+        self.checks = 0
+        self.fruitless_checks = 0
+        #: Last exception raised by a threaded policy step, if any.
+        self.last_error: Optional[BaseException] = None
+        self._backoff = 1
+        self._next_check = 0.0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- policy ------------------------------------------------------------ #
+
+    @property
+    def by(self) -> str:
+        return self._by
+
+    @property
+    def trigger(self) -> float:
+        return self._trigger
+
+    @property
+    def settle(self) -> float:
+        return self._settle
+
+    def step(self, now: Optional[float] = None, *, force: bool = False) -> List:
+        """One measure-and-maybe-migrate decision; returns new reports.
+
+        ``force=True`` skips the trigger gate (still migrating only down to
+        ``settle``) — used by tests and the gateway's ``rebalance_now``.
+        """
+        now = self._clock() if now is None else now
+        self.checks += 1
+        reports: List = []
+        imbalance = self._matrix.imbalance(self._by)
+        if force or imbalance > self._trigger:
+            while len(reports) < self._max_migrations:
+                report = self._matrix.rebalance(
+                    by=self._by, fraction=self._fraction, threshold=self._settle
+                )
+                if report is None:
+                    break
+                reports.append(report)
+        if reports:
+            self._backoff = 1
+            self._next_check = now + max(self._cooldown, self._interval)
+        elif imbalance > self._trigger:
+            self.fruitless_checks += 1
+            self._backoff = min(self._backoff * 2, self._max_backoff)
+            self._next_check = now + self._interval * self._backoff
+        else:
+            self._backoff = 1
+            self._next_check = now + self._interval
+        self.events.extend(reports)
+        return reports
+
+    def maybe_step(self, now: Optional[float] = None) -> List:
+        """Rate-limited :meth:`step`: no-op while inside interval/cool-down."""
+        now = self._clock() if now is None else now
+        if now < self._next_check:
+            return []
+        return self.step(now)
+
+    # -- threaded mode ----------------------------------------------------- #
+
+    def start(self, dispatch: Optional[Callable[[Callable[[], List]], List]] = None) -> "AutoRebalancer":
+        """Run the policy on a daemon thread until :meth:`stop`.
+
+        ``dispatch(fn)`` must execute ``fn()`` on the thread that owns the
+        matrix and return its result; without it the steps run on the policy
+        thread itself, which is only safe when nothing else touches the
+        matrix concurrently.
+        """
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, args=(dispatch,), daemon=True, name="repro-auto-rebalancer"
+        )
+        self._thread.start()
+        return self
+
+    def _run(self, dispatch) -> None:
+        tick = min(self._interval, 0.05) if self._interval > 0 else 0.05
+        while not self._stop.wait(tick):
+            try:
+                if dispatch is not None:
+                    dispatch(self.maybe_step)
+                else:
+                    self.maybe_step()
+            except Exception as exc:
+                # A degraded pool (or a dispatcher shutting down) must not
+                # kill the service; record, back off, retry.
+                self.last_error = exc
+                self._backoff = min(self._backoff * 2, self._max_backoff)
+                self._next_check = self._clock() + max(self._interval, 0.05) * self._backoff
+
+    def stop(self) -> None:
+        """Stop the policy thread (idempotent; safe if never started)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AutoRebalancer by={self._by} trigger={self._trigger} "
+            f"settle={self._settle} events={len(self.events)}>"
+        )

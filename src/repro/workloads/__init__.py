@@ -14,7 +14,14 @@ from .powerlaw import (
     paper_stream,
     powerlaw_edges,
 )
-from .stream import IngestResult, IngestSession, RateMeter, batched, normalize_batch
+from .stream import (
+    IngestResult,
+    IngestSession,
+    RateMeter,
+    batched,
+    interleave,
+    normalize_batch,
+)
 from .traffic import (
     PacketBatch,
     TrafficMatrixBuilder,
@@ -44,5 +51,6 @@ __all__ = [
     "IngestResult",
     "RateMeter",
     "batched",
+    "interleave",
     "normalize_batch",
 ]

@@ -18,6 +18,7 @@ import numpy as np
 
 __all__ = [
     "batched",
+    "interleave",
     "normalize_batch",
     "RateMeter",
     "IngestResult",
@@ -52,6 +53,35 @@ def batched(
     for start in range(0, n, batch_size):
         stop = min(start + batch_size, n)
         yield rows[start:stop], cols[start:stop], values[start:stop]
+
+
+def interleave(*streams: Iterable, seed: Optional[int] = None) -> Iterator:
+    """Merge several batch streams into one, round-robin or randomized.
+
+    Models many independent clients feeding one ingest point (the gateway's
+    workload shape): without ``seed`` the streams are drained round-robin;
+    with it, each batch comes from a uniformly random still-live stream.
+    Exhausted streams drop out until all are drained.  For an associative,
+    commutative accumulator (``plus`` over exactly representable values) the
+    ingested result is independent of the interleaving — which is exactly why
+    the soak tests can compare any concurrent client schedule against a flat
+    reference fed this merged stream.
+    """
+    iterators: List[Iterator] = [iter(s) for s in streams]
+    rng = np.random.default_rng(seed) if seed is not None else None
+    while iterators:
+        if rng is None:
+            for it in list(iterators):
+                try:
+                    yield next(it)
+                except StopIteration:
+                    iterators.remove(it)
+        else:
+            it = iterators[int(rng.integers(len(iterators)))]
+            try:
+                yield next(it)
+            except StopIteration:
+                iterators.remove(it)
 
 
 def normalize_batch(batch) -> Tuple[np.ndarray, np.ndarray, object]:

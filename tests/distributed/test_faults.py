@@ -556,6 +556,162 @@ class TestNodeFailover:
                 assert sharded.map_epoch == epoch0
 
 
+class TestGatewayFaults:
+    """Gateway-grade fault battery: the service layer inherits every backend
+    fault contract end to end.
+
+    A SIGKILLed backend worker becomes a client-visible :class:`GatewayError`
+    at the next read (replicas=0) or an invisible failover with zero lost
+    acknowledged updates (replicas=1); a gateway closed mid-stream drains
+    everything it accepted into the matrix and hangs up cleanly; a slow
+    backend wire bounds the gateway's buffering instead of growing it.
+    """
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_gateway_backend_kill_is_client_visible(self, transport):
+        from repro.service import GatewayClient, GatewayError, IngestGateway
+
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, **_transport_kwargs(transport)
+        ) as sharded:
+            gw = IngestGateway(sharded, coalesce_updates=256, flush_interval=0.01)
+            gw.start()
+            try:
+                with GatewayClient(gw.address) as client:
+                    rows = np.arange(500, dtype=np.uint64)
+                    client.update(rows, rows, np.ones(500))
+                    assert client.sync()["acked"] == 500
+                    assert client.nnz() == 500
+                    sharded._pool.processes[0].kill()
+                    sharded._pool.processes[0].join(timeout=10)
+                    with deadline(30):
+                        # Un-replicated: the death surfaces as a loud reply
+                        # error on this connection, never a hang.
+                        with pytest.raises(GatewayError, match="Worker"):
+                            for _ in range(20):
+                                client.update(rows, rows, np.ones(500))
+                                client.nnz()
+            finally:
+                gw.close()
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_gateway_backend_kill_fails_over_zero_loss(self, transport):
+        """replicas=1: every acknowledged update survives a primary SIGKILL."""
+        from repro.service import GatewayClient, IngestGateway
+
+        batches = TestReplicaFailover._streams(seed=83, nbatches=6)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, **_transport_kwargs(transport, replicas=1)
+        ) as sharded:
+            epoch0 = sharded.map_epoch
+            gw = IngestGateway(sharded, coalesce_updates=256, flush_interval=0.01)
+            gw.start()
+            try:
+                with GatewayClient(gw.address) as client:
+                    sent = 0
+                    for i, (rows, cols, vals) in enumerate(batches):
+                        if i == 3:
+                            victim = sharded._pool.primary_slot(0)
+                            sharded._pool.processes[victim].kill()
+                            sharded._pool.processes[victim].join(timeout=10)
+                        client.update(rows, cols, vals)
+                        sent += rows.size
+                        # Acknowledge every batch: each ack is a promise the
+                        # updates were applied (mirrored to the replica).
+                        assert client.sync()["acked"] == sent
+                    with deadline(60):
+                        assert client.nnz() == flat_matrix.nvals
+                        assert client.epoch() == epoch0 + 1
+            finally:
+                gw.close()
+            with deadline(60):
+                _assert_bit_identical(sharded, flat_matrix)
+
+    def test_gateway_close_mid_stream_drains_cleanly(self):
+        """Shutdown with a client mid-stream: everything accepted lands."""
+        import threading
+
+        from repro.service import GatewayClient, GatewayError, IngestGateway
+
+        with ShardedHierarchicalMatrix(2, cuts=CUTS) as sharded:
+            gw = IngestGateway(sharded, coalesce_updates=1 << 14, flush_interval=30.0)
+            gw.start()
+            streamed = threading.Event()
+            stopped = threading.Event()
+
+            def stream():
+                rng = np.random.default_rng(11)
+                try:
+                    with GatewayClient(gw.address) as client:
+                        while not stopped.is_set():
+                            n = int(rng.integers(50, 200))
+                            client.update(
+                                rng.integers(0, 2 ** 16, n, dtype=np.uint64),
+                                rng.integers(0, 2 ** 16, n, dtype=np.uint64),
+                                np.ones(n),
+                            )
+                            streamed.set()
+                except GatewayError:
+                    pass  # the clean hang-up path: EOF/RST surfaces as this
+
+            producer = threading.Thread(target=stream)
+            producer.start()
+            try:
+                assert streamed.wait(timeout=30)
+                while gw.metrics()["received_updates"] < 1000:
+                    streamed.wait(0.005)
+                gw.close()  # mid-stream: drains the coalescer, hangs up
+            finally:
+                stopped.set()
+                producer.join(timeout=30)
+            assert not producer.is_alive()
+            metrics = gw.metrics()
+            # Drained: every update parsed off a socket reached the matrix
+            # (nothing stranded in the coalescer), and the totals agree.
+            assert metrics["buffered_updates"] == 0
+            assert metrics["routed_updates"] == metrics["received_updates"] >= 1000
+            assert sharded.incremental.total() == float(metrics["routed_updates"])
+
+    @requires_shm
+    def test_gateway_slow_wire_bounds_buffering(self):
+        """A congested backend ring backpressures; gateway memory stays
+        one coalescer window, and nothing is lost or duplicated."""
+        from repro.service import GatewayClient, IngestGateway
+
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="shm", ring_slots=256
+        ) as sharded:
+            gw = IngestGateway(sharded, coalesce_updates=256, flush_interval=0.01)
+            gw.start()
+            try:
+                with GatewayClient(gw.address) as client:
+                    rng = np.random.default_rng(19)
+                    sent = 0
+                    for _ in range(60):
+                        n = int(rng.integers(100, 400))
+                        rows = rng.integers(0, 2 ** 16, n, dtype=np.uint64)
+                        cols = rng.integers(0, 2 ** 16, n, dtype=np.uint64)
+                        vals = rng.integers(1, 9, n).astype(np.float64)
+                        client.update(rows, cols, vals)
+                        flat.update(rows, cols, vals)
+                        sent += n
+                    with deadline(60):
+                        assert client.sync()["acked"] == sent
+            finally:
+                gw.close()
+            metrics = gw.metrics()
+            # Bounded: the buffer never exceeded one coalescer window plus
+            # the one in-flight batch that tipped it over the bound.
+            assert metrics["max_buffered_updates"] < 256 + 400
+            with deadline(60):
+                _assert_bit_identical(sharded, flat.materialize())
+
+
 class TestRingLiveness:
     @requires_shm
     def test_ring_closed_error_names_the_worker(self):

@@ -111,3 +111,107 @@ def test_soak_interleaved_ops_stay_bit_identical(wire, partition):
         assert sum(s["total_updates"] for s in reports) == total
         assert sharded.materialize().isequal(flat.materialize())
         assert sharded.incremental.nnz() == flat.materialize().nvals
+
+
+# --------------------------------------------------------------------------- #
+# Gateway soak: many concurrent clients through the full service stack
+# --------------------------------------------------------------------------- #
+
+NCLIENTS = 32
+BATCHES_PER_CLIENT = 16
+
+
+def _gateway_client_batches(seed):
+    """One client's randomized stream: skewed rows (to force migrations),
+    mixed batch sizes, integer-valued floats (exact under regrouped plus)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(BATCHES_PER_CLIENT):
+        n = int(rng.integers(1, MAX_BATCH))
+        # Rows concentrated in the first range shard; the auto-rebalancer
+        # must migrate slabs off it while all 32 clients keep streaming.
+        rows = rng.integers(0, 2 ** 12, n, dtype=np.uint64)
+        cols = rng.integers(0, 2 ** 20, n, dtype=np.uint64)
+        vals = rng.integers(1, 10, n).astype(np.float64)
+        yield rows, cols, vals
+
+
+def test_gateway_soak_concurrent_clients_bit_identical():
+    """The acceptance scenario: ≥32 concurrent clients through real
+    socket-backed shards, snapshot reads and auto-rebalances interleaved
+    mid-stream, and the final state bit-identical to a flat reference fed
+    the merged stream."""
+    import threading
+
+    from repro.service import AutoRebalancer, GatewayClient, IngestGateway
+
+    failures = []
+    with contextlib.ExitStack() as stack:
+        addresses, _procs = stack.enter_context(spawn_local_agents(2))
+        sharded = stack.enter_context(
+            ShardedHierarchicalMatrix(
+                NSHARDS, cuts=CUTS, partition="range",
+                use_processes=True, transport="socket", nodes=addresses,
+            )
+        )
+        assert sharded.transport == "socket"
+        policy = AutoRebalancer(
+            sharded, trigger=1.2, interval=0.05, cooldown=0.05
+        )
+        gw = IngestGateway(
+            sharded, coalesce_updates=2048, flush_interval=0.01,
+            rebalancer=policy,
+        )
+        gw.start()
+        stack.callback(gw.close)
+
+        def run_client(seed):
+            try:
+                rng = np.random.default_rng(1000 + seed)
+                with GatewayClient(gw.address, client_id=f"soak-{seed}") as client:
+                    sent = 0
+                    for rows, cols, vals in _gateway_client_batches(seed):
+                        client.update(rows, cols, vals)
+                        sent += rows.size
+                        # Interleave snapshot reads with everyone's ingest:
+                        # epoch-consistent answers, never an error or hang.
+                        read = rng.choice(["none", "none", "stats", "nnz", "get", "sync"])
+                        if read == "stats":
+                            summary = client.stats()
+                            assert summary["nnz"] >= 0
+                        elif read == "nnz":
+                            assert client.nnz() >= 0
+                        elif read == "get":
+                            client.get(int(rng.integers(0, 2 ** 12)), int(rng.integers(0, 2 ** 20)))
+                        elif read == "sync":
+                            assert client.sync()["acked"] <= sent
+                    assert client.sync()["acked"] == sent == client.sent_updates
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append((seed, exc))
+
+        threads = [
+            threading.Thread(target=run_client, args=(seed,), name=f"soak-client-{seed}")
+            for seed in range(NCLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not any(t.is_alive() for t in threads)
+        assert failures == []
+
+        # The skewed stream must have forced at least one live migration.
+        assert sharded.map_epoch >= 1
+        assert len(policy.events) >= 1
+
+        # Flat reference fed the merged stream (order-independent under
+        # plus with exactly representable values — see workloads.interleave).
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for seed in range(NCLIENTS):
+            for rows, cols, vals in _gateway_client_batches(seed):
+                flat.update(rows, cols, vals)
+        gw.close()  # drain + stop before the final materialize
+        assert sharded.materialize().isequal(flat.materialize())
+        assert sharded.incremental.nnz() == flat.materialize().nvals
+        metrics = gw.metrics()
+        assert metrics["clients_total"] == NCLIENTS
+        assert metrics["routed_updates"] == metrics["received_updates"]
