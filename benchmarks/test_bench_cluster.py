@@ -18,6 +18,9 @@ measured aggregate on the same machine:
 * The same measured per-worker rate also seeds the paper-configuration
   headline projection (31,000 instances / 1,100 nodes), connecting the local
   socket measurement to the reproduction's Figure-2 machinery.
+* A replicated point (PR 9) re-runs the largest agent count with
+  ``replicas=1`` so the sweep records what barrier-ordered mirrored
+  mutation costs relative to the unreplicated rate on the same wire.
 
 All local agents share one machine's cores, so the measured-vs-predicted
 ratio quantifies how far shared-CPU contention (and the routing parent)
@@ -52,9 +55,14 @@ AGENT_COUNTS = [1, 2]
 WORKERS_PER_AGENT = 2
 PER_WORKER = scaled(50_000, minimum=5_000)
 CUTS = [2 ** 15, 2 ** 18, 2 ** 21]
+# Replication factor for the replicated sweep point (PR 9): the same stream
+# shape at the largest agent count, with every shard mirrored once.  The
+# measured rate_sum/rate_wall gap vs the unreplicated point is the cost of
+# barrier-ordered mirrored mutation on this wire.
+REPLICAS = 1
 
 
-def _run_cluster(nagents: int) -> dict:
+def _run_cluster(nagents: int, replicas: int = 0) -> dict:
     """Stream PER_WORKER updates per worker through nagents local agents."""
     nshards = nagents * WORKERS_PER_AGENT
     total = PER_WORKER * nshards
@@ -70,6 +78,7 @@ def _run_cluster(nagents: int) -> dict:
             use_processes=True,
             transport="socket",
             nodes=addresses,
+            replicas=replicas,
         ) as matrix:
             assert matrix.transport == "socket"
             wall_start = time.perf_counter()
@@ -84,6 +93,7 @@ def _run_cluster(nagents: int) -> dict:
     assert total_updates == total
     return {
         "agents": nagents,
+        "replicas": replicas,
         "workers": nshards,
         "total_updates": total_updates,
         "wall_seconds": round(wall, 6),
@@ -124,6 +134,19 @@ class TestClusterServing:
             )
         headline = SuperCloudModel().headline_projection(per_instance)
 
+        # Replicated point (PR 9): the same stream shape at the largest agent
+        # count with every shard mirrored once.  Mirrors ride the same ingest
+        # fan-out as primaries, so the rate gap vs the unreplicated point is
+        # the measured price of barrier-ordered replication on this wire.
+        top = max(AGENT_COUNTS)
+        replicated = _run_cluster(top, replicas=REPLICAS)
+        unreplicated = measured[top]
+        replication_cost = (
+            replicated["rate_wall"] / unreplicated["rate_wall"]
+            if unreplicated["rate_wall"]
+            else 0.0
+        )
+
         header = (
             f"{'agents':>7} {'workers':>8} {'updates':>11} {'measured sum':>14} "
             f"{'predicted':>14} {'meas/pred':>10} {'rate wall':>13}"
@@ -142,6 +165,11 @@ class TestClusterServing:
                 f"{m['measured_over_predicted']:>10.3f} {m['rate_wall']:>13,.0f}"
             )
         lines += [
+            "",
+            f"replicated point ({top} agents, replicas={REPLICAS}, mirrored mutation):",
+            f"  rate wall {replicated['rate_wall']:>13,.0f} updates/s "
+            f"({replication_cost:.3f} of the unreplicated rate at the same "
+            "agent count)",
             "",
             "predicted is the SuperCloud model seeded with the 1-agent mean",
             "per-worker rate and all launch/straggler overheads zeroed — the",
@@ -163,6 +191,10 @@ class TestClusterServing:
                 "cuts": CUTS,
                 "per_instance_rate": round(per_instance, 1),
                 "sweep": sweep,
+                "replicated_point": {
+                    **replicated,
+                    "rate_vs_unreplicated": round(replication_cost, 4),
+                },
                 "headline_projection": {
                     k: (round(v, 4) if isinstance(v, float) else v)
                     for k, v in headline.items()

@@ -102,6 +102,40 @@ def _run_point(nclients: int) -> dict:
 
 
 class TestGatewaySweep:
+    def test_single_pack_per_update(self, benchmark):
+        """The gateway path packs each update batch exactly once.
+
+        The client packs its coordinates into wire keys; the gateway decodes
+        them, threads them through the coalescer, and the router reuses them
+        (``route(..., keys=...)``) instead of re-packing.  With the shard
+        workers in separate processes, every ``coords.pack`` observable here
+        is either the client's wire encoding or a router re-pack — so the
+        counter delta across the send window must equal the number of client
+        batches exactly (it was 2x that when the gateway re-partitioned).
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        from repro.graphblas import coords
+
+        nbatches = 40
+        with ShardedHierarchicalMatrix(4, cuts=CUTS, use_processes=True) as sharded:
+            gw = IngestGateway(sharded, coalesce_updates=8192, flush_interval=0.005)
+            gw.start()
+            try:
+                with GatewayClient(gw.address, client_id="pack-count") as client:
+                    before = coords.pack_calls()
+                    sent = 0
+                    for rows, cols, vals in _client_batches(7, nbatches * BATCH):
+                        client.update(rows, cols, vals)
+                        sent += rows.size
+                    assert client.sync()["acked"] == sent
+                    packs = coords.pack_calls() - before
+            finally:
+                gw.close()
+        assert packs == nbatches, (
+            f"expected one pack per update batch ({nbatches}), saw {packs} — "
+            "the router is re-packing gateway batches"
+        )
+
     def test_client_scaling(self, benchmark):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
         points = [_run_point(n) for n in CLIENT_COUNTS]

@@ -303,9 +303,19 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
         help="max/mean per-shard nnz ratio tolerated before an auto "
         "rebalance fires (default 1.5; 1.0 is perfectly even)",
     )
+    parser.add_argument(
+        "--auto-rejoin", action="store_true",
+        help="run the hands-off AutoRejoiner supervisor alongside ingest: "
+        "replica slots retired by a failover are re-dialed with back-off and "
+        "resynced from a primary checkpoint without stopping the stream "
+        "(requires --replicas > 0)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.auto_rejoin and args.replicas <= 0:
+        parser.error("--auto-rejoin requires --replicas > 0")
 
     if args.replay is not None:
         from .graphblas.io import read_triples_arrays
@@ -355,15 +365,26 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
     transport_in_force = matrix.transport
     expected_batches = max(-(-stream_updates // args.batch_size), 1)
     rebalance_events = []
+    rejoiner = None
     with matrix:
         wall_start = time.perf_counter()
-        if args.rebalance is None:
+        check_every = max(expected_batches // 4, 1)
+        if args.auto_rejoin:
+            # Same stream-relative clock trick as the rebalancer below: the
+            # supervisor's back-off schedule advances in batch units, so a
+            # still-down agent is retried every check_every batches, doubling
+            # up to its cap, instead of wall-clock polling.
+            from .service import AutoRejoiner
+
+            rejoiner = AutoRejoiner(
+                matrix, interval=float(check_every), clock=lambda: 0.0
+            )
+        if args.rebalance is None and rejoiner is None:
             total = matrix.ingest(stream)
         else:
             # Interleave live migrations with the stream: ingest continues on
             # every other shard while a slab moves, and batches routed before
             # a migration are fenced by the transport barrier ordering.
-            check_every = max(expected_batches // 4, 1)
             rebalancer = None
             if args.rebalance == "auto":
                 # The policy (trigger/settle hysteresis, cool-down after a
@@ -386,10 +407,14 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
                 count += 1
                 if rebalancer is not None:
                     rebalance_events.extend(rebalancer.maybe_step(now=float(count)))
-                elif count == max(expected_batches // 2, 1):
+                elif args.rebalance == "manual" and count == max(
+                    expected_batches // 2, 1
+                ):
                     report = matrix.rebalance()
                     if report is not None:
                         rebalance_events.append(report)
+                if rejoiner is not None:
+                    rejoiner.maybe_step(now=float(count))
             total = matrix.total_updates
         matrix.finalize()
         wall = time.perf_counter() - wall_start
@@ -452,6 +477,12 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
                     for r in rebalance_events
                 ],
             }
+        if rejoiner is not None:
+            payload["rejoin"] = {
+                "checks": rejoiner.checks,
+                "rejoined": len(rejoiner.events),
+                "events": rejoiner.events,
+            }
         print(json.dumps(payload, indent=2))
     else:
         print(f"shards:                {args.shards} ({args.partition} partition)")
@@ -479,6 +510,13 @@ def main_shard(argv: Optional[Sequence[str]] = None) -> int:
                     f"  epoch {r.epoch}: shard {r.source} -> {r.dest}, "
                     f"{r.moved:,} entries, imbalance before {r.imbalance_before:.3f}"
                 )
+        if rejoiner is not None:
+            print(
+                f"auto-rejoin:           {len(rejoiner.events)} rejoin(s) "
+                f"over {rejoiner.checks} check(s)"
+            )
+            for ev in rejoiner.events:
+                print(f"  batch {ev['at']:.0f}: shard {ev['shard']} slot {ev['slot']} resynced")
         if stats is not None:
             print("--- incremental traffic statistics (no materialize) ---")
             print(f"nnz:                   {stats['nnz']:,.0f}")
@@ -582,6 +620,12 @@ def main_gateway(argv: Optional[Sequence[str]] = None) -> int:
         help="auto-rebalance trigger: max/mean per-shard nnz ratio (default 1.5)",
     )
     serve.add_argument(
+        "--auto-rejoin", action="store_true",
+        help="run the hands-off AutoRejoiner supervisor alongside ingest: "
+        "replica slots retired by a failover are re-dialed with back-off and "
+        "resynced without stopping the gateway (requires --replicas > 0)",
+    )
+    serve.add_argument(
         "--duration", type=float, default=None,
         help="serve for this many seconds then exit (default: until interrupted)",
     )
@@ -606,7 +650,7 @@ def main_gateway(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         from .distributed.node import format_address
-        from .service import AutoRebalancer, IngestGateway
+        from .service import AutoRebalancer, AutoRejoiner, IngestGateway
 
         nodes = None
         if args.nodes is not None:
@@ -615,6 +659,8 @@ def main_gateway(argv: Optional[Sequence[str]] = None) -> int:
                 serve.error("--nodes requires --transport socket")
         if args.transport == "socket" and nodes is None:
             serve.error("--transport socket requires --nodes host:port,...")
+        if args.auto_rejoin and args.replicas <= 0:
+            serve.error("--auto-rejoin requires --replicas > 0")
         matrix = ShardedHierarchicalMatrix(
             args.shards,
             2 ** 32,
@@ -629,12 +675,16 @@ def main_gateway(argv: Optional[Sequence[str]] = None) -> int:
         rebalancer = None
         if args.auto_rebalance:
             rebalancer = AutoRebalancer(matrix, trigger=args.imbalance_threshold)
+        rejoiner = None
+        if args.auto_rejoin:
+            rejoiner = AutoRejoiner(matrix)
         gateway = IngestGateway(
             matrix,
             host=args.host,
             port=args.port,
             coalesce_updates=args.coalesce,
             rebalancer=rebalancer,
+            rejoiner=rejoiner,
             own_matrix=True,
         )
         gateway.start()
@@ -655,6 +705,8 @@ def main_gateway(argv: Optional[Sequence[str]] = None) -> int:
         print(f"clients served:        {metrics['clients_total']}")
         print(f"updates routed:        {metrics['routed_updates']:,}")
         print(f"batches routed:        {metrics['routed_batches']:,}")
+        if rejoiner is not None:
+            print(f"replicas rejoined:     {len(rejoiner.events)}")
         return 0
 
     from .service import GatewayClient

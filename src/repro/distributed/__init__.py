@@ -11,6 +11,7 @@ from .node import (
     RemoteWorkerHandle,
     format_address,
     parse_address,
+    restart_local_agent,
     spawn_local_agents,
 )
 from .partition import (
@@ -72,6 +73,7 @@ __all__ = [
     "NodeAgent",
     "RemoteWorkerHandle",
     "spawn_local_agents",
+    "restart_local_agent",
     "parse_address",
     "format_address",
     "ShmRing",

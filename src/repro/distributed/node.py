@@ -65,6 +65,7 @@ __all__ = [
     "NodeAgent",
     "RemoteWorkerHandle",
     "spawn_local_agents",
+    "restart_local_agent",
     "parse_address",
     "format_address",
 ]
@@ -372,14 +373,24 @@ def spawn_local_agents(
     it via the parent-death signal); remaining agents are terminated on exit.
     """
     ctx = mp.get_context("fork")
-    agents = [NodeAgent(host) for _ in range(n)]
-    procs = [ctx.Process(target=a.serve_forever, daemon=True) for a in agents]
+    agents: List[NodeAgent] = []
+    procs: List[mp.Process] = []
     try:
-        for p in procs:
-            p.start()
-        # The children inherited the bound sockets; drop the parent copies.
-        for a in agents:
-            a.close()
+        # Bind and fork ONE agent at a time, closing the parent's copy of
+        # each listener before the next agent is created.  Forking them all
+        # from a single snapshot would leak every listening fd into every
+        # sibling process — and then a SIGKILLed agent's endpoint stays
+        # half-alive (connectable, never accepted) for as long as any
+        # sibling runs, which both defeats rejoin (the replacement agent
+        # cannot rebind the port) and turns the supervisor's re-dial into
+        # an indefinite hang instead of a clean connection refusal.
+        for _ in range(n):
+            agent = NodeAgent(host)
+            proc = ctx.Process(target=agent.serve_forever, daemon=True)
+            proc.start()
+            agent.close()
+            agents.append(agent)
+            procs.append(proc)
         yield [a.address for a in agents], procs
     finally:
         for p in procs:
@@ -389,3 +400,38 @@ def spawn_local_agents(
             p.join(timeout=5)
             if p.is_alive():  # pragma: no cover - defensive
                 p.kill()
+
+
+def restart_local_agent(
+    address: Union[str, Address], *, attempts: int = 50, delay: float = 0.1
+) -> mp.Process:
+    """Start a fresh NodeAgent process re-binding a dead agent's ``address``.
+
+    This is the operational half of the rejoin contract: the transport's
+    ``respawn`` re-dials a retired slot's *original* endpoint, so recovery
+    means bringing an agent back on exactly that ``host:port``.
+    ``SO_REUSEADDR`` (set in :class:`NodeAgent`'s constructor) makes the
+    rebind immediate even while old connections linger in ``TIME_WAIT``; the
+    retry loop covers the brief window where the killed agent's listener has
+    not been released by the kernel yet.  Like :func:`spawn_local_agents`,
+    the socket is bound *before* the serve loop forks — when this returns,
+    the endpoint is connectable and a rejoin supervisor's next resync
+    attempt can succeed.  The caller owns the returned process handle.
+    """
+    host, port = parse_address(address)
+    ctx = mp.get_context("fork")
+    last_error: Optional[OSError] = None
+    for _ in range(max(int(attempts), 1)):
+        try:
+            agent = NodeAgent(host, port)
+        except OSError as exc:
+            last_error = exc
+            time.sleep(delay)
+            continue
+        proc = ctx.Process(target=agent.serve_forever, daemon=True)
+        proc.start()
+        agent.close()
+        return proc
+    raise RuntimeError(
+        f"could not rebind agent endpoint {host}:{port}: {last_error}"
+    )

@@ -61,10 +61,16 @@ detectable — which is the whole zero-lost-updates argument: when a primary
 dies, every batch it ever received (and any it may have missed while dying)
 already sits in a replica, so :meth:`promote` simply redirects the shard to
 that replica without replaying anything.  Control commands that *read* go to
-the primary only; state-mutating commands (``install_slab`` /
-``discard_slab`` / ``clear``) go through :meth:`request_mirrored` so replica
-content tracks the primary exactly.  Replica slots never answer queries
-while a primary is alive, so mirroring adds no read-path cost.
+the primary only; state-mutating commands — and the migration barrier
+``extract_slab`` — go through :meth:`request_mirrored` so replica content
+tracks the primary exactly through rebalances as well as ingest
+(``install_slab`` / ``discard_slab`` / ``clear`` mutate; the mirrored
+extract is a pure copy whose replica legs exist for the barrier and the
+pre-mutation health check).  Replica slots never answer queries while a
+primary is alive, so mirroring adds no read-path cost.  A replica that
+fails any leg is retired — visible through :meth:`missing_replicas`, and
+restored by :meth:`resync_replica` (hands-off via the service-layer
+rejoin supervisor).
 """
 
 from __future__ import annotations
@@ -251,6 +257,17 @@ class ShardWorkerPool:
         """Whether at least one live replica could take over ``shard``."""
         return any(self._slot_alive(s) for s in self._replicas_of[shard])
 
+    def missing_replicas(self, shard: int) -> int:
+        """Replica slots of ``shard`` currently retired (0 = full budget).
+
+        Counts every home slot that is neither the acting primary nor a
+        registered live mirror — i.e. slots spent by failovers, failed
+        mirror sends, or killed nodes, each awaiting
+        :meth:`resync_replica`.  This is the cheap no-work check the rejoin
+        supervisor polls; it never touches the wire.
+        """
+        return self.replicas - len(self._replicas_of[shard])
+
     def ingest_pressure(self) -> float:
         """Worst ingest-wire fill fraction across all live slots (0..1).
 
@@ -426,15 +443,20 @@ class ShardWorkerPool:
         return [self.collect(w) for w in range(self.nworkers)]
 
     def request_mirrored(self, shard: int, cmd: str, payload=None):
-        """A reply-bearing *state-mutating* command, applied to the primary
-        and every live replica of ``shard``; returns the primary's result.
+        """A reply-bearing command applied to the primary and every live
+        replica of ``shard``; returns the primary's result.
 
-        Migration installs/discards and ``clear`` go through here so replica
-        content stays an exact mirror of the primary.  A replica that fails
-        the command (raised or died) is retired — a replica whose state can
-        no longer be trusted must never be promoted — while the primary's
-        failure propagates as :class:`WorkerCrash` exactly like
-        :meth:`request`.  The primary is addressed through the public
+        Every migration step (``extract_slab`` / ``install_slab`` /
+        ``discard_slab``) and ``clear`` go through here so replica content
+        stays an exact mirror of the primary — the replies double as
+        barriers that pin each mirror leg to the same stream position.  A
+        replica that fails the command (raised or died) is retired — a
+        replica whose state can no longer be trusted must never be promoted
+        — while the primary's failure propagates as :class:`WorkerCrash`
+        exactly like :meth:`request`.  Retirement is never silent to the
+        caller that cares: it shows up in :meth:`missing_replicas`, and the
+        migration path re-checks the budget after publishing its epoch.
+        The primary is addressed through the public
         :meth:`submit`/:meth:`collect` path, preserving their semantics
         (and their fault-injection hooks).
         """

@@ -46,6 +46,17 @@ map epoch is published (identical intervals, bumped version — see
 advance>`), with zero lost updates.  A crashed shard with no live replica
 propagates :class:`~repro.distributed.worker.WorkerCrash` and leaves the
 previous epoch in force.
+
+Since PR 9 replication is *mutation-complete*: every migration step
+(``extract_slab`` / ``install_slab`` / ``discard_slab``) is mirrored to the
+touched shard's replica legs, so a rebalance leaves each replica
+bit-identical to its primary with no post-hoc resync — a failover landing
+mid-migration, or right after one, promotes a replica that already holds
+exactly the migrated state.  Retired replica slots are visible through
+:meth:`ShardedHierarchicalMatrix.missing_replicas` and restored one at a
+time by :meth:`ShardedHierarchicalMatrix.resync_replica`; the service-layer
+:class:`~repro.service.AutoRejoiner` drives that hands-off, re-dialing
+restarted agents with backoff.
 """
 
 from __future__ import annotations
@@ -169,7 +180,12 @@ class ShardRouter:
         return self.route(rows, cols)[0]
 
     def route(
-        self, rows: np.ndarray, cols: np.ndarray, *, with_keys: bool = False
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        *,
+        with_keys: bool = False,
+        keys: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Shard index of each pair, plus the packed keys when available.
 
@@ -179,10 +195,19 @@ class ShardRouter:
         it without packing a second time.  ``keys`` is ``None`` when the
         shape has no 64-bit split, or when it was neither requested
         (``with_keys``) nor needed for routing (single shard).
+
+        Callers that already hold the packed keys (the gateway decodes them
+        straight off its client wire) pass them in as ``keys`` — aligned
+        with ``rows`` and packed under :attr:`spec` — and routing reuses
+        them instead of packing a second time.  Supplied keys are ignored
+        for shapes with no 64-bit split.
         """
-        keys = None
-        if self.spec is not None and (with_keys or self.nshards > 1):
+        if keys is not None and self.spec is not None:
+            keys = np.asarray(keys, dtype=np.uint64)
+        elif self.spec is not None and (with_keys or self.nshards > 1):
             keys = coords.pack(rows, cols, self.spec)
+        else:
+            keys = None
         if self.nshards == 1:
             return np.zeros(rows.size, dtype=np.int64), keys
         pkeys = partition_keys(rows, cols, self.partition, self.spec, keys=keys)
@@ -639,6 +664,27 @@ class ShardedHierarchicalMatrix:
                 results.append(self._pool.request(s, cmd, payload))
         return results
 
+    def missing_replicas(self) -> int:
+        """Retired replica slots across all shards (0 = full failure budget).
+
+        A slot is retired when its worker died (a failed mirror send, a
+        promoted-away primary, a killed node) and stays retired until
+        :meth:`resync_replica` restores it.  The rejoin supervisor
+        (:class:`~repro.service.AutoRejoiner`) polls this as its cheap
+        no-work check.
+        """
+        return sum(self._pool.missing_replicas(s) for s in range(self.nshards))
+
+    def resync_replica(self, shard: int) -> Optional[int]:
+        """Respawn and catch up one retired slot of ``shard``.
+
+        Returns the slot re-registered as a replica, or ``None`` when the
+        shard already has its full mirror set.  Raises when the retired
+        slot cannot be respawned (its agent is still down) or the restore
+        failed — callers that retry on a schedule catch this and back off.
+        """
+        return self._pool.resync_replica(shard)
+
     def resync_replicas(self) -> int:
         """Respawn and catch up every retired replica slot; returns how many.
 
@@ -657,7 +703,7 @@ class ShardedHierarchicalMatrix:
     # streaming updates
     # ------------------------------------------------------------------ #
 
-    def update(self, rows, cols, values=1) -> "ShardedHierarchicalMatrix":
+    def update(self, rows, cols, values=1, *, keys=None) -> "ShardedHierarchicalMatrix":
         """Route one batch of triples to its owning shards.
 
         ``values`` may be an array (one per coordinate) or a scalar broadcast
@@ -666,7 +712,10 @@ class ShardedHierarchicalMatrix:
         immediately (they have no owning shard).  Shard-local update time is
         accumulated worker-side; see :meth:`finalize` / :meth:`reports`.  On
         the shm transport the router's packed keys are handed straight to
-        the wire, so each batch is packed exactly once.
+        the wire, so each batch is packed exactly once.  ``keys`` may carry
+        the batch's coordinates already packed under the router's split
+        (aligned with ``rows``) — the gateway passes the keys it decoded off
+        its client wire, making the whole gateway path one pack per update.
         """
         r = K.as_index_array(rows, "rows")
         c = K.as_index_array(cols, "cols")
@@ -688,8 +737,14 @@ class ShardedHierarchicalMatrix:
             raise DimensionMismatch(
                 f"values length {v.size} does not match index length {r.size}"
             )
+        if keys is not None:
+            keys = np.asarray(keys, dtype=np.uint64)
+            if keys.size != r.size:
+                raise DimensionMismatch(
+                    f"keys length {keys.size} does not match index length {r.size}"
+                )
         with_keys = self._pool.transport_name in ("shm", "socket")
-        shard, keys = self._router.route(r, c, with_keys=with_keys)
+        shard, keys = self._router.route(r, c, with_keys=with_keys, keys=keys)
         for s in range(self.nshards):
             mask = shard == s
             if not mask.any():
@@ -832,11 +887,26 @@ class ShardedHierarchicalMatrix:
         4. only then is the new map epoch published parent-side, so every
            subsequent batch routes to the new owner.
 
+        With ``replicas > 0`` *every* step is mirrored to the touched
+        shard's replica legs (the commands are reply-bearing, so each leg's
+        barrier fences its in-flight mirrored ingest too): the source's
+        replicas execute the extract (a pure copy — its only mirror-side
+        effect is the barrier) and the discard, the destination's replicas
+        execute the install, so the migration leaves every replica
+        bit-identical to its primary with no post-hoc resync.  A failover
+        landing at any point therefore promotes a replica that already
+        reflects exactly the migration steps its primary completed.
+
         A crash at any step leaves the previous epoch in force with no
-        coordinate orphaned or double-owned: before step 3 the source still
-        holds the authoritative copy (a failed install is compensated by
-        discarding the copy from the destination), and after step 3 the
-        destination does.  :class:`WorkerCrash` propagates to the caller.
+        coordinate orphaned or double-owned on any leg: before step 3 the
+        source still holds the authoritative copy (a failed install is
+        compensated by discarding the copy from the destination *and its
+        mirrors*), and after step 3 the destination does.
+        :class:`WorkerCrash` propagates to the caller.  After the epoch is
+        published the touched shards' failure budgets are re-checked: a
+        replica retired along the way is resynchronised in place, and a
+        budget that cannot be restored raises :class:`WorkerCrash` loudly
+        instead of leaving the shard silently under-replicated.
 
         Returns a :class:`RebalanceReport`, or ``None`` when there is
         nothing to do (single shard, imbalance under ``threshold``, or an
@@ -872,16 +942,27 @@ class ShardedHierarchicalMatrix:
         intervals = self._router.map.shard_intervals(source)
         if not intervals:
             return None
-        reply = self._request(
-            source,
-            "extract_slab",
-            {
-                "partition": self.partition,
-                "intervals": intervals,
-                "target": target,
-                "weight": "value" if units == "traffic" else "count",
-            },
-        )
+        extract = {
+            "partition": self.partition,
+            "intervals": intervals,
+            "target": target,
+            "weight": "value" if units == "traffic" else "count",
+        }
+        # Mirrored: the extract is a pure copy, so its replica legs change no
+        # state — but as a reply-bearing barrier it pins every mirror to the
+        # same stream position before any migration mutation, and it retires
+        # unhealthy replicas *before* install/discard could diverge them.
+        reply = self._request(source, "extract_slab", extract, mirrored=True)
+        while reply is None:
+            # The source failed over mid-extract.  Mirrored commands are
+            # never resent through the same call (a promoted replica already
+            # ran its mirror leg), but the extract's reply carried the slab —
+            # re-requesting it is safe because the copy is idempotent and the
+            # promoted replica holds identical logical content (same batches,
+            # same mirrored mutations), hence the identical deterministic
+            # cut.  Each retry consumes a replica; promote() raises
+            # WorkerCrash when the budget is exhausted, bounding the loop.
+            reply = self._request(source, "extract_slab", extract, mirrored=True)
         if reply["count"] == 0:
             return None
         lo, hi = reply["lo"], reply["hi"]
@@ -904,6 +985,8 @@ class ShardedHierarchicalMatrix:
             raise
         self._router.install(self._router.map.assign(lo, hi, dest))
         self._incremental.invalidate()
+        if self._pool.replicas:
+            self._ensure_replica_budget((source, dest))
         return RebalanceReport(
             epoch=self.map_epoch,
             source=source,
@@ -913,6 +996,31 @@ class ShardedHierarchicalMatrix:
             loads_before=tuple(loads),
             imbalance_before=imbalance,
         )
+
+    def _ensure_replica_budget(self, shards) -> None:
+        """Restore (or loudly fail on) any replica retired around a migration.
+
+        A replica that failed a mirrored migration leg is retired so it can
+        never be promoted with divergent state — but leaving it retired
+        *silently* would hand the next failover a reduced budget nobody
+        asked for.  Each touched shard is resynchronised in place
+        (checkpoint/restore over the reply channel); if the budget cannot
+        be restored — the slot's agent is still down — the migration
+        surfaces it as :class:`WorkerCrash` rather than returning success
+        over an under-replicated shard.  The published epoch stays valid
+        either way: the migration itself completed on every surviving leg.
+        """
+        for s in dict.fromkeys(int(x) for x in shards):
+            try:
+                while self._pool.resync_replica(s) is not None:
+                    pass
+            except WorkerCrash:
+                raise
+            except Exception as exc:
+                raise WorkerCrash(
+                    f"shard {s} is under-replicated after a migration and "
+                    f"resync failed: {exc}"
+                ) from exc
 
     def _discard_quietly(self, shard: int, discard: dict) -> None:
         """Best-effort compensation; the shard may already be dead.

@@ -713,20 +713,27 @@ class SocketTransport(ShardTransport):
 
     def _connect(self, slot: int) -> None:
         conn = socket_mod.create_connection(self._nodes[self.placement[slot]], timeout=30)
-        conn.settimeout(None)
         conn.setsockopt(socket_mod.IPPROTO_TCP, socket_mod.TCP_NODELAY, 1)
         node_mod.send_pickled(
             conn,
             node_mod.F_HELLO,
             {"slot": slot, "matrix_kwargs": self._matrix_kwargs},
         )
-        frame = node_mod.recv_frame(conn)
+        # The 30s timeout stays armed through the HELLO exchange: a rejoin
+        # re-dial can reach an endpoint that accepts but never serves (e.g.
+        # an agent mid-restart), and an unbounded recv here would wedge the
+        # supervisor instead of surfacing a retryable failure.
+        try:
+            frame = node_mod.recv_frame(conn)
+        except socket_mod.timeout:
+            frame = None
         if frame is None or frame[0] != node_mod.F_HELLO_ACK:
             conn.close()
             raise WorkerCrash(
                 f"node agent at {self._nodes[self.placement[slot]]} did not "
                 f"acknowledge worker slot {slot}"
             )
+        conn.settimeout(None)
         ack = pickle.loads(bytes(frame[1]))
         handle = RemoteWorkerHandle(int(ack["pid"]))
         if slot < len(self._conns):

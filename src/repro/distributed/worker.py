@@ -360,6 +360,13 @@ class ShardState:
     def _extract_slab(self, payload) -> Dict[str, Any]:
         """Choose and copy out one slab; the shard's content is unchanged.
 
+        Because it mutates nothing and the cut below is a deterministic
+        function of the shard's logical content, this command is idempotent
+        across mirrors: the coordinator mirrors it to every replica as a
+        stream barrier and, if the primary dies mid-extract, simply re-issues
+        it to the promoted replica — which computes the *same* slab, since a
+        mirror at the same stream position holds the same logical content.
+
         ``payload`` carries the partition kind plus either an explicit
         ``lo``/``hi`` interval or ``intervals`` (the partition-map intervals
         this shard owns) with a ``target`` load to move — then the cut is

@@ -22,20 +22,26 @@ This package provides it as a composition of already-tested mechanisms:
   hysteresis around :meth:`imbalance`, cool-down after migrations, and
   nnz- or traffic-weighted slab placement, replacing the polling loop that
   previously lived in ``cli.py``.
+* :class:`AutoRejoiner` — the hands-off availability policy: detects
+  replica slots retired by failovers or node kills, re-dials the restarted
+  agents with exponential back-off, and drives the checkpoint resync until
+  every shard holds its full mirror set again.
 
 All matrix access happens on the gateway's event-loop thread (the rebalancer
-thread dispatches its policy steps onto the loop), so snapshot reads are
-trivially consistent with the epoch they report and no lock ever guards the
-hierarchy.
+and rejoiner threads dispatch their policy steps onto the loop), so snapshot
+reads are trivially consistent with the epoch they report and no lock ever
+guards the hierarchy.
 """
 
 from .coalesce import BatchCoalescer, CoalescedBatch
 from .rebalancer import AutoRebalancer
+from .rejoin import AutoRejoiner
 from .gateway import GatewayError, IngestGateway
 from .client import GatewayClient
 
 __all__ = [
     "AutoRebalancer",
+    "AutoRejoiner",
     "BatchCoalescer",
     "CoalescedBatch",
     "GatewayClient",

@@ -180,6 +180,14 @@ class GatewayClient:
         """Migrations the gateway's auto-rebalancer performed, in order."""
         return self._read("rebalance_events")
 
+    def rejoin_events(self) -> list:
+        """Replica rejoins the gateway's auto-rejoiner completed, in order."""
+        return self._read("rejoin_events")
+
+    def missing_replicas(self) -> int:
+        """Replica slots currently retired behind the gateway (0 = full budget)."""
+        return int(self._read("missing_replicas"))
+
     # -- plumbing ---------------------------------------------------------- #
 
     def _send(self, ftype: int, payload) -> None:

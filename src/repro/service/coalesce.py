@@ -3,15 +3,19 @@
 Gateway clients send whatever batch sizes their sensors produce — often a
 handful of updates at a time — while the sharded router amortises its packing
 and per-shard masking over large batches.  :class:`BatchCoalescer` bridges the
-two: it buffers incoming per-client batches in arrival order and emits
+two: it buffers incoming batches in per-client queues and emits
 :class:`CoalescedBatch` objects of bounded size, carrying per-client segment
 counts so the gateway can acknowledge exactly the updates that were applied.
 
 Invariants (property-tested in ``tests/service/test_coalesce.py``):
 
 * **Order**: within one client, updates appear in emitted batches in the
-  order they arrived (batches are only ever split, never reordered), and the
-  global emission order respects arrival order too.
+  order they arrived (a client's batches are only ever split, never
+  reordered).
+* **Fairness**: emission round-robins across the clients that have buffered
+  updates, so one hot client filling every window cannot starve a slow one —
+  a client with a pending chunk is served within a bounded number of emitted
+  windows regardless of how fast the other clients produce.
 * **Bound**: no emitted batch exceeds ``max_updates`` — oversized incoming
   batches are split — and after every :meth:`add` fewer than ``max_updates``
   updates remain buffered.
@@ -21,11 +25,15 @@ Invariants (property-tested in ``tests/service/test_coalesce.py``):
 
 All-ones batches stay symbolic (``values`` is the scalar ``1``) so the
 gateway's ingest path preserves the key-only wire optimisation end to end.
+When the caller already holds the packed ``uint64`` coordinate keys (the
+gateway decodes them straight off the wire), :meth:`add` accepts them and
+emitted batches carry the concatenation — the router can then skip re-packing
+entirely (one pack per update across the whole gateway path, not two).
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
@@ -34,6 +42,10 @@ import numpy as np
 from ..graphblas import _kernels as K
 
 __all__ = ["BatchCoalescer", "CoalescedBatch"]
+
+#: One buffered slice of a client batch: rows, cols, values (``None`` for the
+#: symbolic all-ones case), packed keys (``None`` when the caller had none).
+_Chunk = Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]
 
 
 @dataclass
@@ -47,8 +59,11 @@ class CoalescedBatch:
     values: object
     #: Combine operator name shared by every update in the batch.
     op: str
-    #: ``(client, count)`` in arrival order; counts sum to :attr:`size`.
+    #: ``(client, count)`` in emission order; counts sum to :attr:`size`.
     segments: List[Tuple[object, int]]
+    #: Packed ``uint64`` coordinate keys aligned with ``rows``/``cols`` when
+    #: every contributing chunk carried them, else ``None``.
+    keys: Optional[np.ndarray] = None
 
     @property
     def size(self) -> int:
@@ -67,7 +82,9 @@ class BatchCoalescer:
 
     def __init__(self, max_updates: int = 8192):
         self.max_updates = max(int(max_updates), 1)
-        self._chunks: Deque[Tuple[object, np.ndarray, np.ndarray, Optional[np.ndarray]]] = deque()
+        # client -> FIFO of that client's pending chunks; dict order is the
+        # round-robin rotation (served client moves to the end).
+        self._queues: "OrderedDict[object, Deque[_Chunk]]" = OrderedDict()
         self._count = 0
         self._op: Optional[str] = None
 
@@ -81,12 +98,16 @@ class BatchCoalescer:
         """Operator of the buffered updates (``None`` when empty)."""
         return self._op if self._count else None
 
-    def add(self, client, rows, cols, values=1, *, op: str = "plus") -> List[CoalescedBatch]:
+    def add(
+        self, client, rows, cols, values=1, *, op: str = "plus", keys=None
+    ) -> List[CoalescedBatch]:
         """Buffer one client batch; return every batch that became emittable.
 
         A different ``op`` than the buffered one flushes the buffer first
         (single-combiner rule); then full ``max_updates`` batches are peeled
-        off while the buffer holds at least that many updates.
+        off while the buffer holds at least that many updates.  ``keys`` may
+        carry the coordinates already packed (aligned with ``rows``); emitted
+        batches propagate them when every contributing chunk had them.
         """
         out: List[CoalescedBatch] = []
         if self._count and self._op is not None and op != self._op:
@@ -105,7 +126,15 @@ class BatchCoalescer:
             v = np.asarray(values)
             if v.size != r.size:
                 raise ValueError(f"values length mismatch: {v.size} != {r.size}")
-        self._chunks.append((client, r, c, v))
+        k = None
+        if keys is not None:
+            k = np.asarray(keys, dtype=np.uint64)
+            if k.size != r.size:
+                raise ValueError(f"keys length mismatch: {k.size} != {r.size}")
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+        queue.append((r, c, v, k))
         self._count += r.size
         while self._count >= self.max_updates:
             out.append(self._emit(self.max_updates))
@@ -118,30 +147,52 @@ class BatchCoalescer:
         return self._emit(self._count)
 
     def _emit(self, limit: int) -> CoalescedBatch:
-        take: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
+        """Drain up to ``limit`` updates, round-robining across clients.
+
+        Each turn takes one chunk (or the window's remainder of one) from the
+        client at the head of the rotation, then moves that client to the
+        tail — so a slow client's chunk is reached after at most one chunk
+        from every other client, no matter how much the others have queued.
+        """
+        take: List[_Chunk] = []
         segments: List[Tuple[object, int]] = []
         remaining = limit
-        while remaining > 0 and self._chunks:
-            client, r, c, v = self._chunks[0]
+        while remaining > 0 and self._queues:
+            client, queue = next(iter(self._queues.items()))
+            r, c, v, k = queue[0]
             if r.size <= remaining:
-                self._chunks.popleft()
-                take.append((r, c, v))
-                segments.append((client, int(r.size)))
-                remaining -= r.size
+                queue.popleft()
+                take.append((r, c, v, k))
+                taken = int(r.size)
             else:
-                take.append((r[:remaining], c[:remaining], None if v is None else v[:remaining]))
-                segments.append((client, remaining))
-                self._chunks[0] = (
-                    client,
+                take.append(
+                    (
+                        r[:remaining],
+                        c[:remaining],
+                        None if v is None else v[:remaining],
+                        None if k is None else k[:remaining],
+                    )
+                )
+                queue[0] = (
                     r[remaining:],
                     c[remaining:],
                     None if v is None else v[remaining:],
+                    None if k is None else k[remaining:],
                 )
-                remaining = 0
+                taken = remaining
+            if segments and segments[-1][0] == client:
+                segments[-1] = (client, segments[-1][1] + taken)
+            else:
+                segments.append((client, taken))
+            remaining -= taken
+            # Rotate: the served client yields the head to the next client.
+            del self._queues[client]
+            if queue:
+                self._queues[client] = queue
         emitted = limit - remaining
         self._count -= emitted
         if len(take) == 1:
-            rows, cols, vals = take[0]
+            rows, cols, vals, keys = take[0]
         else:
             rows = np.concatenate([t[0] for t in take])
             cols = np.concatenate([t[1] for t in take])
@@ -150,8 +201,18 @@ class BatchCoalescer:
                 vals = np.concatenate(
                     [np.ones(t[0].size, dtype=np.float64) if t[2] is None else t[2] for t in take]
                 )
+            keys = None
+            if all(t[3] is not None for t in take):
+                keys = np.concatenate([t[3] for t in take])
         values = 1 if vals is None else vals
-        return CoalescedBatch(rows=rows, cols=cols, values=values, op=self._op or "plus", segments=segments)
+        return CoalescedBatch(
+            rows=rows,
+            cols=cols,
+            values=values,
+            op=self._op or "plus",
+            segments=segments,
+            keys=keys,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<BatchCoalescer pending={self._count}/{self.max_updates} op={self._op!r}>"

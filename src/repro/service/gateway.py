@@ -68,6 +68,7 @@ from ..graphblas.errors import InvalidIndex
 from ..graphblas.types import lookup_dtype
 from .coalesce import BatchCoalescer, CoalescedBatch
 from .rebalancer import AutoRebalancer
+from .rejoin import AutoRejoiner
 
 __all__ = ["F_SET_OP", "GatewayError", "IngestGateway"]
 
@@ -123,6 +124,11 @@ class IngestGateway:
         Optional :class:`AutoRebalancer` over the same matrix; the gateway
         starts its thread and marshals every policy step onto the event loop
         so the policy never races ingest.
+    rejoiner:
+        Optional :class:`AutoRejoiner` over the same matrix; hosted exactly
+        like the rebalancer (own thread, steps dispatched onto the loop), it
+        re-dials restarted node agents and resyncs retired replicas
+        hands-off.
     own_matrix:
         Close the matrix when the gateway closes (the CLI passes True).
     """
@@ -141,6 +147,7 @@ class IngestGateway:
         low_watermark: float = 0.25,
         backlog: int = 512,
         rebalancer: Optional[AutoRebalancer] = None,
+        rejoiner: Optional[AutoRejoiner] = None,
         own_matrix: bool = False,
     ):
         if not (0.0 <= low_watermark <= high_watermark):
@@ -155,9 +162,19 @@ class IngestGateway:
         self._high = float(high_watermark)
         self._low = float(low_watermark)
         self.rebalancer = rebalancer
+        self.rejoiner = rejoiner
         self._own_matrix = bool(own_matrix)
         self._accum = matrix.accum.name
         self._spec = coords.shape_split(matrix.nrows, matrix.ncols)
+        # The sharded matrix accepts the wire's packed keys straight through
+        # (one pack per update across the whole gateway path); plain
+        # hierarchical matrices and test fakes do not take the keyword.
+        try:
+            import inspect
+
+            self._update_takes_keys = "keys" in inspect.signature(matrix.update).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._update_takes_keys = False
         np_type = matrix.dtype.np_type
         self._codec = ValueCodec(np_type) if np_type.itemsize <= 8 else None
         self._conns: Set[_Connection] = set()
@@ -213,6 +230,8 @@ class IngestGateway:
             raise err
         if self.rebalancer is not None:
             self.rebalancer.start(dispatch=self._dispatch)
+        if self.rejoiner is not None:
+            self.rejoiner.start(dispatch=self._dispatch)
         return self
 
     def _run(self, started: threading.Event) -> None:
@@ -261,6 +280,8 @@ class IngestGateway:
         self._closed = True
         if self.rebalancer is not None:
             self.rebalancer.stop()
+        if self.rejoiner is not None:
+            self.rejoiner.stop()
         if self._thread is not None and self._thread.is_alive():
             self._loop.call_soon_threadsafe(self._stop_event.set)
             self._thread.join(timeout=15)
@@ -302,6 +323,12 @@ class IngestGateway:
             return []
         return self._dispatch(lambda: self.rebalancer.step(force=True))
 
+    def rejoin_now(self) -> List:
+        """Force one rejoin step on the loop thread; returns its events."""
+        if self.rejoiner is None:
+            return []
+        return self._dispatch(lambda: self.rejoiner.step(force=True))
+
     def metrics(self) -> Dict[str, int]:
         """Snapshot of the gateway counters (observability + tests)."""
         out = dict(self._metrics)
@@ -341,7 +368,10 @@ class IngestGateway:
                     f"operator {batch.op!r} does not match the gateway "
                     f"accumulator {self._accum!r}"
                 )
-            self._matrix.update(batch.rows, batch.cols, batch.values)
+            if batch.keys is not None and self._update_takes_keys:
+                self._matrix.update(batch.rows, batch.cols, batch.values, keys=batch.keys)
+            else:
+                self._matrix.update(batch.rows, batch.cols, batch.values)
         except Exception as exc:
             self._metrics["errors"] += 1
             detail = f"{type(exc).__name__}: {exc}"
@@ -439,6 +469,15 @@ class IngestGateway:
                 pass
 
     def _decode_data(self, ftype: int, payload: bytes):
+        """Decode one data frame to ``(rows, cols, values, keys)``.
+
+        Binary frames carry the coordinates as packed ``uint64`` keys under
+        the matrix's own split — exactly what the router packs — so they are
+        returned alongside the unpacked coordinates and ride the coalescer
+        to the matrix, which then skips re-packing (pickled frames have no
+        keys and return ``None``).
+        """
+        keys = None
         if ftype == F_DATA_PICKLED:
             rows, cols, values = pickle.loads(bytes(payload))
             r = K.as_index_array(rows, "rows")
@@ -462,21 +501,21 @@ class IngestGateway:
                 f"coordinate batch exceeds the "
                 f"{self._matrix.nrows}x{self._matrix.ncols} shape"
             )
-        return r, c, values
+        return r, c, values, keys
 
     async def _dispatch_frame(self, conn: _Connection, ftype: int, payload: bytes, writer) -> None:
         if ftype in (F_DATA, F_DATA_KEYONLY, F_DATA_PICKLED):
             if conn.error is not None:
                 return  # latched: drop until the client observes the error
             try:
-                r, c, values = self._decode_data(ftype, payload)
+                r, c, values, keys = self._decode_data(ftype, payload)
             except Exception as exc:
                 self._metrics["rejected_frames"] += 1
                 conn.error = f"{type(exc).__name__}: {exc}"
                 return
             conn.received += r.size
             self._metrics["received_updates"] += r.size
-            emitted = self._coalescer.add(conn, r, c, values, op=conn.op)
+            emitted = self._coalescer.add(conn, r, c, values, op=conn.op, keys=keys)
             buffered = self._coalescer.pending_updates
             if buffered > self._metrics["max_buffered_updates"]:
                 self._metrics["max_buffered_updates"] = buffered
@@ -557,6 +596,11 @@ class IngestGateway:
                 }
                 for e in events
             ]
+        if cmd == "rejoin_events":
+            return list(self.rejoiner.events) if self.rejoiner is not None else []
+        if cmd == "missing_replicas":
+            fn = getattr(self._matrix, "missing_replicas", None)
+            return int(fn()) if fn is not None else 0
         raise GatewayError(f"unknown gateway command {cmd!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -505,6 +505,68 @@ class TestReplicaFailover:
             with deadline(60):
                 _assert_bit_identical(sharded, flat.materialize())
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_two_replicas_survive_sequential_double_kill(self, transport):
+        """replicas=2: a second primary kill after the first promotion still
+        fails over with zero lost updates (verified promotion picks a live,
+        fully mirrored candidate both times)."""
+        batches = self._streams(seed=59, nbatches=8)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, **_transport_kwargs(transport, replicas=2)
+        ) as sharded:
+            epoch0 = sharded.map_epoch
+            pool = sharded._pool
+            for rows, cols, vals in batches[:3]:
+                sharded.update(rows, cols, vals)
+            first = pool.primary_slot(0)
+            pool.processes[first].kill()
+            pool.processes[first].join(timeout=10)
+            for rows, cols, vals in batches[3:5]:
+                sharded.update(rows, cols, vals)
+            # A reply-bearing command surfaces the death and promotes.
+            assert sharded.nvals >= 0
+            second = pool.primary_slot(0)
+            assert second != first
+            pool.processes[second].kill()
+            pool.processes[second].join(timeout=10)
+            for rows, cols, vals in batches[5:]:
+                sharded.update(rows, cols, vals)
+            with deadline(60):
+                _assert_bit_identical(sharded, flat_matrix)
+                assert sharded.map_epoch == epoch0 + 2
+                assert sharded.nvals == flat_matrix.nvals
+
+    def test_two_replicas_survive_simultaneous_double_kill(self):
+        """replicas=2: primary AND first replica die in the same instant;
+        verified promotion must skip the dead candidate and promote the
+        surviving mirror — zero lost updates, one epoch bump."""
+        batches = self._streams(seed=67, nbatches=6)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="queue", replicas=2
+        ) as sharded:
+            epoch0 = sharded.map_epoch
+            pool = sharded._pool
+            for rows, cols, vals in batches[:3]:
+                sharded.update(rows, cols, vals)
+            victims = [pool.primary_slot(0), pool.replica_slots(0)[0]]
+            for slot in victims:
+                pool.processes[slot].kill()
+            for slot in victims:
+                pool.processes[slot].join(timeout=10)
+            for rows, cols, vals in batches[3:]:
+                sharded.update(rows, cols, vals)
+            with deadline(60):
+                _assert_bit_identical(sharded, flat_matrix)
+                assert sharded.map_epoch == epoch0 + 1
+
 
 class TestNodeFailover:
     """SIGKILL a whole NodeAgent: every worker it hosts dies with it
@@ -554,6 +616,216 @@ class TestNodeFailover:
                     with pytest.raises(WorkerCrash):
                         sharded.materialize()
                 assert sharded.map_epoch == epoch0
+
+
+class TestReplicaTrueRebalance:
+    """Migrations are replica-true: every step is mirrored, so with a replica
+    in hand a SIGKILL at ANY step fails over and the migration still
+    *completes* (the abort-and-compensate contract of
+    :class:`TestMigrationFaults` is the replicas=0 degradation), and the
+    touched shards leave the call with their full failure budget — retired
+    mirrors are resynchronised in place, or the call raises loudly.
+    """
+
+    MIGRATION_STEPS = ["extract_slab", "install_slab", "discard_slab"]
+
+    @staticmethod
+    def _loaded_with_flat(transport, replicas=1, seed=31, nbatches=3):
+        """Skewed range-partition stream (everything in shard 0's slab) plus
+        the flat reference it must stay bit-identical to."""
+        sharded = ShardedHierarchicalMatrix(
+            2, cuts=CUTS, partition="range",
+            **_transport_kwargs(transport, replicas=replicas),
+        )
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        rng = np.random.default_rng(seed)
+        for _ in range(nbatches):
+            rows = rng.integers(0, 2 ** 14, 400, dtype=np.uint64)
+            cols = rng.integers(0, 2 ** 14, 400, dtype=np.uint64)
+            vals = rng.integers(1, 9, 400).astype(np.float64)
+            flat.update(rows, cols, vals)
+            sharded.update(rows, cols, vals)
+        return sharded, flat
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("step", MIGRATION_STEPS)
+    def test_kill_primary_mid_step_migration_completes(
+        self, transport, step, monkeypatch
+    ):
+        """Kill the acting primary at the dispatch of each migration step:
+        the step's failover promotes a mirror that already executed its legs,
+        the migration completes, and the budget check respawns the dead slot
+        — no resync_replicas() from the caller, no lost or duplicated slab."""
+        sharded, flat = self._loaded_with_flat(transport)
+        with sharded:
+            epoch0 = sharded.map_epoch
+            victim_shard = 1 if step == "install_slab" else 0
+            TestMigrationFaults._kill_on(
+                sharded._pool, step, monkeypatch,
+                worker_filter=sharded._pool.primary_slot(victim_shard),
+            )
+            with deadline(60):
+                report = sharded.rebalance()
+                assert report is not None
+                assert (report.source, report.dest) == (0, 1)
+                # One epoch bump for the failover fence, one for the install.
+                assert sharded.map_epoch == epoch0 + 2
+                # The budget check already restored the retired slot.
+                assert sharded.missing_replicas() == 0
+                _assert_bit_identical(sharded, flat.materialize())
+
+    def test_kill_primary_right_after_migration_loses_nothing(self):
+        """Satellite regression: because the discard was mirrored, the
+        replica promoted right after the migration holds exactly the
+        post-migration slab set — nothing lost, nothing double-owned."""
+        sharded, flat = self._loaded_with_flat("queue")
+        with sharded:
+            report = sharded.rebalance()
+            assert report is not None
+            pool = sharded._pool
+            assert pool.has_live_replica(report.source)
+            victim = pool.primary_slot(report.source)
+            pool.processes[victim].kill()
+            pool.processes[victim].join(timeout=10)
+            rng = np.random.default_rng(77)
+            for _ in range(2):
+                rows = rng.integers(0, 2 ** 14, 300, dtype=np.uint64)
+                cols = rng.integers(0, 2 ** 14, 300, dtype=np.uint64)
+                flat.update(rows, cols, np.ones(300))
+                sharded.update(rows, cols, np.ones(300))
+            with deadline(60):
+                _assert_bit_identical(sharded, flat.materialize())
+
+    def test_dead_replica_is_resynced_during_rebalance(self):
+        """A mirror retired before the migration (its slot SIGKILLed) is
+        respawned and resynced by the migration itself; the restored budget
+        then survives a primary kill with zero loss."""
+        sharded, flat = self._loaded_with_flat("queue")
+        with sharded:
+            pool = sharded._pool
+            replica = pool.replica_slots(0)[0]
+            pool.processes[replica].kill()
+            pool.processes[replica].join(timeout=10)
+            with deadline(60):
+                report = sharded.rebalance()
+                assert report is not None
+                assert sharded.missing_replicas() == 0
+                # The freshly resynced mirror is now the failure budget.
+                victim = pool.primary_slot(0)
+                pool.processes[victim].kill()
+                pool.processes[victim].join(timeout=10)
+                _assert_bit_identical(sharded, flat.materialize())
+
+    def test_unrestorable_budget_fails_loudly(self, monkeypatch):
+        """If the retired slot cannot be respawned (agent still down), the
+        migration raises WorkerCrash instead of silently returning success
+        over an under-replicated shard — and the published epoch stays
+        valid.  Once the 'agent' returns, the AutoRejoiner restores the
+        budget hands-off."""
+        from repro.service import AutoRejoiner
+
+        sharded, flat = self._loaded_with_flat("queue")
+        with sharded:
+            epoch0 = sharded.map_epoch
+            pool = sharded._pool
+            replica = pool.replica_slots(0)[0]
+            pool.processes[replica].kill()
+            pool.processes[replica].join(timeout=10)
+            original_respawn = pool._transport.respawn
+
+            def refusing_respawn(slot):
+                raise OSError("connection refused: agent still down")
+
+            monkeypatch.setattr(pool._transport, "respawn", refusing_respawn)
+            with deadline(60):
+                with pytest.raises(WorkerCrash, match="under-replicated"):
+                    sharded.rebalance()
+            # The migration itself completed before the budget check failed.
+            assert sharded.map_epoch == epoch0 + 1
+            assert sharded.missing_replicas() == 1
+            # The 'agent' comes back: the supervisor repairs the budget.
+            monkeypatch.setattr(pool._transport, "respawn", original_respawn)
+            rejoiner = AutoRejoiner(sharded, interval=1.0, clock=lambda: 0.0)
+            with deadline(60):
+                events = rejoiner.step(now=0.0)
+            assert len(events) == 1 and sharded.missing_replicas() == 0
+            with deadline(60):
+                _assert_bit_identical(sharded, flat.materialize())
+
+
+class TestAgentRejoin:
+    """The restart-rejoin battery: SIGKILL a NodeAgent, restart it on the
+    same endpoint, and the AutoRejoiner restores every mirror hands-off —
+    after which a primary kill still fails over with zero lost updates."""
+
+    def test_restarted_agent_rejoins_and_rearms_failover(self):
+        import time
+
+        from repro.distributed import restart_local_agent
+        from repro.service import AutoRejoiner
+
+        batches = TestReplicaFailover._streams(seed=37, nbatches=9)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with spawn_local_agents(2) as (addresses, procs):
+            with ShardedHierarchicalMatrix(
+                2, cuts=CUTS, use_processes=True,
+                transport="socket", nodes=addresses, replicas=1,
+            ) as sharded:
+                rejoiner = AutoRejoiner(
+                    sharded, interval=1.0, max_backoff=4, clock=lambda: 0.0
+                )
+                epoch0 = sharded.map_epoch
+                for rows, cols, vals in batches[:3]:
+                    sharded.update(rows, cols, vals)
+                # Agent 0 hosts shard 0's primary and shard 1's replica:
+                # killing it costs shard 0 a failover and shard 1 its mirror.
+                os.kill(procs[0].pid, signal.SIGKILL)
+                procs[0].join(timeout=10)
+                for rows, cols, vals in batches[3:5]:
+                    sharded.update(rows, cols, vals)
+                assert sharded.map_epoch == epoch0 + 1
+                assert sharded.missing_replicas() >= 1
+                # While the endpoint refuses, attempts fail and back off.
+                with deadline(60):
+                    assert rejoiner.step(now=0.0) == []
+                assert rejoiner.failed_attempts == 1
+                assert rejoiner.last_error is not None
+                # Restart an agent on the SAME endpoint; the retired slots
+                # re-dial it through the placement they were born with.
+                restarted = restart_local_agent(addresses[0])
+                try:
+                    fed = 5
+                    now = 2.0
+                    with deadline(90):
+                        while True:
+                            rejoiner.maybe_step(now=now)
+                            now += 4.0  # always past the back-off horizon
+                            if fed < 7:
+                                rows, cols, vals = batches[fed]
+                                sharded.update(rows, cols, vals)
+                                fed += 1
+                            elif sharded.missing_replicas() == 0:
+                                break
+                            time.sleep(0.02)
+                    assert len(rejoiner.events) >= 1
+                    for s in range(sharded.nshards):
+                        assert sharded._pool.has_live_replica(s)
+                    # The restored budget arms another failover: kill the
+                    # promoted primary of shard 0 and keep streaming.
+                    victim = sharded._pool.primary_slot(0)
+                    sharded._pool.processes[victim].kill()
+                    sharded._pool.processes[victim].join(timeout=10)
+                    for rows, cols, vals in batches[fed:]:
+                        sharded.update(rows, cols, vals)
+                    with deadline(60):
+                        _assert_bit_identical(sharded, flat_matrix)
+                        assert sharded.map_epoch == epoch0 + 2
+                finally:
+                    restarted.terminate()
+                    restarted.join(timeout=5)
 
 
 class TestGatewayFaults:
@@ -626,6 +898,65 @@ class TestGatewayFaults:
                     with deadline(60):
                         assert client.nnz() == flat_matrix.nvals
                         assert client.epoch() == epoch0 + 1
+            finally:
+                gw.close()
+            with deadline(60):
+                _assert_bit_identical(sharded, flat_matrix)
+
+    def test_gateway_hosted_rejoiner_restores_budget(self):
+        """The gateway hosts the rejoin supervisor on its event loop: after
+        a primary kill the spent failure budget is restored hands-off, the
+        client can watch it through ``missing_replicas()``/``rejoin_events()``,
+        and the restored mirror arms a second zero-loss failover."""
+        import time as time_mod
+
+        from repro.service import AutoRejoiner, GatewayClient, IngestGateway
+
+        batches = TestReplicaFailover._streams(seed=91, nbatches=6)
+        flat = HierarchicalMatrix(2 ** 32, 2 ** 32, cuts=CUTS)
+        for rows, cols, vals in batches:
+            flat.update(rows, cols, vals)
+        flat_matrix = flat.materialize()
+        with ShardedHierarchicalMatrix(
+            2, cuts=CUTS, use_processes=True, transport="queue", replicas=1
+        ) as sharded:
+            rejoiner = AutoRejoiner(sharded, interval=0.05)
+            gw = IngestGateway(
+                sharded, coalesce_updates=256, flush_interval=0.01,
+                rejoiner=rejoiner,
+            )
+            gw.start()
+            try:
+                with GatewayClient(gw.address) as client:
+                    assert client.missing_replicas() == 0
+                    sent = 0
+                    for rows, cols, vals in batches[:3]:
+                        client.update(rows, cols, vals)
+                        sent += rows.size
+                        assert client.sync()["acked"] == sent
+                    victim = sharded._pool.primary_slot(0)
+                    sharded._pool.processes[victim].kill()
+                    sharded._pool.processes[victim].join(timeout=10)
+                    for rows, cols, vals in batches[3:5]:
+                        client.update(rows, cols, vals)
+                        sent += rows.size
+                        assert client.sync()["acked"] == sent
+                    # A reply-bearing read surfaces the death: the failover
+                    # spends the budget, and the hosted supervisor notices.
+                    assert client.nnz() > 0
+                    with deadline(60):
+                        while client.missing_replicas() > 0:
+                            time_mod.sleep(0.02)
+                    assert len(client.rejoin_events()) >= 1
+                    # The hands-off resync re-armed failover: kill again.
+                    victim = sharded._pool.primary_slot(0)
+                    sharded._pool.processes[victim].kill()
+                    sharded._pool.processes[victim].join(timeout=10)
+                    rows, cols, vals = batches[5]
+                    client.update(rows, cols, vals)
+                    sent += rows.size
+                    with deadline(60):
+                        assert client.sync()["acked"] == sent
             finally:
                 gw.close()
             with deadline(60):

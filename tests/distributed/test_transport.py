@@ -491,6 +491,174 @@ class TestRebalanceConformance:
                 sharded.shard_loads(by="vibes")
 
 
+def run_replicated_fault_battery(
+    mode,
+    batches,
+    *,
+    nshards,
+    partition,
+    replicas,
+    rebalance_after,
+    kill_after,
+    kill_step=None,
+):
+    """Replicated conformance: rebalances + injected primary kills, zero loss.
+
+    Feeds ``batches`` with migrations attempted after the ``rebalance_after``
+    indices, the acting primary of shard ``i % nshards`` SIGKILLed after each
+    ``kill_after`` index, and (optionally) a one-shot primary kill armed to
+    fire at the dispatch of migration step ``kill_step`` — a kill *during*
+    the migration.  The matrix must end bit-identical to the flat reference
+    with its full failure budget restored, and the test never calls
+    ``resync_replicas()``: all repair is done by the migration's own budget
+    check and by driving the :class:`~repro.service.AutoRejoiner` supervisor.
+    """
+    from repro.service import AutoRejoiner
+
+    flat = flat_reference(batches)
+    flat_matrix = flat.materialize()
+    with ShardedHierarchicalMatrix(
+        nshards,
+        cuts=CUTS,
+        partition=partition,
+        replicas=replicas,
+        **mode_kwargs(mode),
+    ) as sharded:
+        pool = sharded._pool
+        rejoiner = AutoRejoiner(sharded, interval=1.0, clock=lambda: 0.0)
+        epoch0 = sharded.map_epoch
+        migrations = 0
+        original_submit = pool.submit
+        armed = {"step": kill_step}
+
+        def killing_submit(worker, cmd, payload=None):
+            if armed["step"] is not None and cmd == armed["step"]:
+                armed["step"] = None
+                slot = pool.primary_slot(worker)
+                pool.processes[slot].kill()
+                pool.processes[slot].join(timeout=10)
+            original_submit(worker, cmd, payload)
+
+        pool.submit = killing_submit
+        try:
+            for i, (rows, cols, vals) in enumerate(batches):
+                sharded.update(rows, cols, vals)
+                if i in kill_after:
+                    victim = pool.primary_slot(i % nshards)
+                    pool.processes[victim].kill()
+                    pool.processes[victim].join(timeout=10)
+                    # Surface the death (promote) and let the supervisor
+                    # restore the budget before the stream continues, so
+                    # every later fault again has a full mirror set to spend.
+                    assert sharded.nvals >= 0
+                    rejoiner.step(now=float(i))
+                    assert sharded.missing_replicas() == 0
+                if i in rebalance_after and sharded.nshards > 1:
+                    report = sharded.rebalance()
+                    if report is not None:
+                        migrations += 1
+        finally:
+            pool.submit = original_submit
+        # materialize first: it surfaces any still-undetected death, then the
+        # supervisor's next step repairs whatever that failover spent.
+        assert sharded.materialize().isequal(flat_matrix)
+        rejoiner.step(now=float(len(batches)))
+        assert sharded.missing_replicas() == 0
+        assert sharded.map_epoch >= epoch0 + migrations
+        assert sharded.nvals == flat_matrix.nvals
+        assert sharded.reduce_rowwise("plus").isequal(flat_matrix.reduce_rowwise("plus"))
+        assert sharded.reduce_columnwise("plus").isequal(
+            flat_matrix.reduce_columnwise("plus")
+        )
+        return migrations
+
+
+class TestReplicatedRebalanceConformance:
+    """The rebalance conformance contract, re-proved at ``replicas=2``.
+
+    Mirrored-mutation migrations (every ``extract_slab`` / ``install_slab``
+    / ``discard_slab`` leg applied to primary *and* replicas, barrier-
+    ordered) mean a replicated matrix under randomized mid-stream rebalance
+    schedules — with primaries SIGKILLed between batches and even at the
+    dispatch of each migration step — still ends bit-identical to the flat
+    reference, with every shard holding its full mirror budget and no manual
+    ``resync_replicas()`` anywhere.
+    """
+
+    #: Process-backed wires only: replication needs workers that can die.
+    REPLICA_MODES = ["queue", "shm", "socket"]
+
+    @pytest.mark.parametrize("mode", REPLICA_MODES)
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(
+        batches=batches_strategy(),
+        nshards=st.integers(2, 3),
+        partition=st.sampled_from(["hash", "range"]),
+        data=st.data(),
+    )
+    def test_bit_identical_with_replicas_and_kills(
+        self, mode, batches, nshards, partition, data
+    ):
+        rebalance_after = set(
+            data.draw(
+                st.lists(st.integers(0, len(batches) - 1), min_size=1, max_size=2),
+                label="rebalance_after",
+            )
+        )
+        kill_after = set(
+            data.draw(
+                st.lists(st.integers(0, len(batches) - 1), max_size=2),
+                label="kill_after",
+            )
+        )
+        kill_step = data.draw(
+            st.sampled_from([None, "extract_slab", "install_slab", "discard_slab"]),
+            label="kill_step",
+        )
+        run_replicated_fault_battery(
+            mode,
+            batches,
+            nshards=nshards,
+            partition=partition,
+            replicas=2,
+            rebalance_after=rebalance_after,
+            kill_after=kill_after,
+            kill_step=kill_step,
+        )
+
+    @pytest.mark.parametrize("mode", REPLICA_MODES)
+    @pytest.mark.parametrize(
+        "kill_step", ["extract_slab", "install_slab", "discard_slab"]
+    )
+    def test_pinned_mid_step_kill_grid(self, mode, kill_step):
+        """Deterministic grid: a busier skewed stream, a forced migration,
+        and a primary killed at the dispatch of each migration step."""
+        rng = np.random.default_rng(2718)
+        batches = [
+            (
+                rng.integers(0, 2 ** 14, 400, dtype=np.uint64),
+                rng.integers(0, 2 ** 14, 400, dtype=np.uint64),
+                rng.integers(1, 8, 400).astype(np.float64),
+            )
+            for _ in range(5)
+        ]
+        migrations = run_replicated_fault_battery(
+            mode,
+            batches,
+            nshards=2,
+            partition="range",
+            replicas=2,
+            rebalance_after={2},
+            kill_after={4},
+            kill_step=kill_step,
+        )
+        assert migrations >= 1
+
+
 class TestKeyOnlyFrames:
     """All-ones batches ship without value payloads, bit-identically."""
 

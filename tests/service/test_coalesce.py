@@ -127,6 +127,86 @@ class TestProperties:
             assert batch.op in ("plus", "max", "min")
 
 
+class TestFairness:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        max_updates=st.integers(min_value=4, max_value=256),
+        nhot=st.integers(min_value=1, max_value=4),
+        skew=st.integers(min_value=10, max_value=100),
+    )
+    def test_hot_clients_cannot_starve_slow_client(self, max_updates, nhot, skew):
+        """A 1:``skew`` rate skew still drains the slow client promptly.
+
+        Emission round-robins across clients, one chunk (or window remainder)
+        per turn, and a served client yields the rotation head — so a slow
+        client with one pending update is served within ``nhot + 1`` emitted
+        windows no matter how much the hot clients keep queueing.  (The old
+        arrival-order emission had no such bound: hot clients refilling the
+        buffer faster than it drained starved the slow chunk indefinitely.)
+        """
+        c = BatchCoalescer(max_updates)
+        rng = np.random.default_rng(3)
+        hot = [f"hot{i}" for i in range(nhot)]
+        # Build a hot backlog first so the slow client lands behind it.
+        for name in hot:
+            rows = rng.integers(0, 1000, size=skew, dtype=np.int64)
+            c.add(name, rows, rows, 1)
+        windows = 0
+        served = False
+
+        def scan(batches):
+            nonlocal windows, served
+            for batch in batches:
+                if not served:
+                    windows += 1
+                    served = any(cl == "slow" for cl, _ in batch.segments)
+
+        scan(c.add("slow", [7], [7], 1))
+        # Hot clients keep producing skew updates for the slow client's one.
+        for _ in range(400):
+            if served or windows > nhot + 1:
+                break
+            for name in hot:
+                rows = rng.integers(0, 1000, size=skew, dtype=np.int64)
+                scan(c.add(name, rows, rows, 1))
+        assert served, "slow client never served"
+        assert windows <= nhot + 1, (
+            f"slow client starved for {windows} windows "
+            f"(bound is nhot + 1 = {nhot + 1})"
+        )
+
+
+class TestKeys:
+    def test_keys_propagate_when_all_chunks_carry_them(self):
+        c = BatchCoalescer(8)
+        c.add("a", [1, 2, 3], [4, 5, 6], 1, keys=np.array([10, 11, 12], dtype=np.uint64))
+        out = c.add("b", np.arange(5), np.arange(5), 1, keys=np.arange(20, 25, dtype=np.uint64))
+        assert len(out) == 1
+        np.testing.assert_array_equal(out[0].keys, [10, 11, 12, 20, 21, 22, 23, 24])
+        assert out[0].keys.dtype == np.uint64
+
+    def test_keys_dropped_when_any_chunk_lacks_them(self):
+        """A keyless chunk (pickled-frame client) poisons only its window."""
+        c = BatchCoalescer(8)
+        c.add("a", [1, 2, 3], [4, 5, 6], 1, keys=np.array([10, 11, 12], dtype=np.uint64))
+        out = c.add("b", np.arange(5), np.arange(5), 1)
+        assert len(out) == 1 and out[0].keys is None
+
+    def test_keys_split_with_their_updates(self):
+        """An oversized keyed batch keeps keys aligned across the split."""
+        c = BatchCoalescer(10)
+        keys = np.arange(100, 125, dtype=np.uint64)
+        out = c.add("a", np.arange(25), np.arange(25), 1, keys=keys)
+        tail = c.flush()
+        replayed = np.concatenate([b.keys for b in out] + [tail.keys])
+        np.testing.assert_array_equal(replayed, keys)
+
+    def test_keys_length_mismatch_rejected(self):
+        c = BatchCoalescer(8)
+        with pytest.raises(ValueError):
+            c.add("a", [1, 2], [3, 4], 1, keys=np.array([9], dtype=np.uint64))
+
+
 class TestUnit:
     def test_all_ones_stays_symbolic(self):
         """All-ones chunks coalesce to scalar values=1 (key-only wire)."""

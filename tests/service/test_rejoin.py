@@ -1,0 +1,135 @@
+"""AutoRejoiner policy tests: fake matrix, injected clock, scripted outages.
+
+The supervisor's whole contract is schedulable behaviour — cheap no-op checks
+while healthy, every retired slot resynced as soon as its agent answers,
+exponential back-off (capped) while it does not, re-armed by any progress —
+so these tests drive :meth:`AutoRejoiner.step`/:meth:`maybe_step` on a fake
+matrix whose outages are scripted and a clock that only moves when the test
+says so.  The end-to-end rejoin (real agents SIGKILLed and restarted on their
+endpoints) lives in ``tests/distributed/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.distributed import WorkerCrash
+from repro.graphblas.errors import InvalidValue
+from repro.service import AutoRejoiner
+
+
+class FakeRejoinMatrix:
+    """Scripted replica deficits + per-shard agent outages."""
+
+    def __init__(self, nshards=2, missing=None):
+        self.nshards = nshards
+        self.missing = dict(missing or {s: 0 for s in range(nshards)})
+        self.down = set()  # shards whose retired slot cannot be respawned
+        self.resync_calls = 0
+
+    def missing_replicas(self):
+        return sum(self.missing.values())
+
+    def resync_replica(self, shard):
+        self.resync_calls += 1
+        if self.missing.get(shard, 0) == 0:
+            return None
+        if shard in self.down:
+            raise WorkerCrash(f"shard {shard}: agent still down")
+        self.missing[shard] -= 1
+        return 100 + shard  # the slot that rejoined
+
+
+class TestPolicy:
+    def test_healthy_cluster_pays_only_the_bookkeeping_check(self):
+        matrix = FakeRejoinMatrix(nshards=3)
+        policy = AutoRejoiner(matrix, interval=1.0, clock=lambda: 0.0)
+        assert policy.step(now=0.0) == []
+        # missing_replicas() == 0 short-circuits: no resync round-trips.
+        assert matrix.resync_calls == 0
+        assert policy.checks == 1 and policy.events == []
+
+    def test_retired_slots_all_rejoin_in_one_step(self):
+        matrix = FakeRejoinMatrix(nshards=2, missing={0: 1, 1: 2})
+        policy = AutoRejoiner(matrix, interval=1.0, clock=lambda: 0.0)
+        events = policy.step(now=5.0)
+        assert [(e["shard"], e["slot"]) for e in events] == [
+            (0, 100), (1, 101), (1, 101)
+        ]
+        assert all(e["at"] == 5.0 for e in events)
+        assert matrix.missing_replicas() == 0
+        assert policy.events == events
+        assert policy._backoff == 1  # progress re-arms the base interval
+
+    def test_agent_down_backs_off_exponentially_until_it_returns(self):
+        matrix = FakeRejoinMatrix(nshards=1, missing={0: 1})
+        matrix.down.add(0)
+        policy = AutoRejoiner(matrix, interval=1.0, max_backoff=4, clock=lambda: 0.0)
+        gaps = []
+        now = 0.0
+        for _ in range(4):
+            assert policy.step(now=now) == []
+            gaps.append(policy._next_check - now)
+            now = policy._next_check
+        assert gaps == [2.0, 4.0, 4.0, 4.0]  # doubles, then capped
+        assert policy.failed_attempts == 4
+        assert isinstance(policy.last_error, WorkerCrash)
+        # The agent comes back: the next step rejoins and re-arms.
+        matrix.down.clear()
+        assert len(policy.step(now=now)) == 1
+        assert policy._backoff == 1
+        assert policy._next_check == now + 1.0
+
+    def test_partial_progress_resets_the_backoff(self):
+        # Shard 0's agent is still down but shard 1's slot rejoins: the step
+        # made progress, so the cadence must NOT back off (the healthy
+        # shard's rejoin proves the supervisor is not spinning uselessly).
+        matrix = FakeRejoinMatrix(nshards=2, missing={0: 1, 1: 1})
+        matrix.down.add(0)
+        policy = AutoRejoiner(matrix, interval=1.0, max_backoff=8, clock=lambda: 0.0)
+        events = policy.step(now=0.0)
+        assert [e["shard"] for e in events] == [1]
+        assert policy._backoff == 1
+        assert policy.last_error is not None  # shard 0's failure is recorded
+
+    def test_maybe_step_rate_limits(self):
+        matrix = FakeRejoinMatrix(nshards=1, missing={0: 1})
+        policy = AutoRejoiner(matrix, interval=2.0, clock=lambda: 0.0)
+        policy.step(now=0.0)
+        checks = policy.checks
+        assert policy.maybe_step(now=1.9) == []
+        assert policy.checks == checks  # inside the interval: no check
+        policy.maybe_step(now=2.0)
+        assert policy.checks == checks + 1
+
+    def test_force_walks_the_shards_even_when_bookkeeping_says_healthy(self):
+        matrix = FakeRejoinMatrix(nshards=3)
+        policy = AutoRejoiner(matrix, interval=1.0, clock=lambda: 0.0)
+        assert policy.step(now=0.0, force=True) == []
+        assert matrix.resync_calls == matrix.nshards
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidValue):
+            AutoRejoiner(FakeRejoinMatrix(), interval=-1.0)
+
+    def test_threaded_mode_routes_through_dispatch(self):
+        matrix = FakeRejoinMatrix(nshards=1, missing={0: 1})
+        policy = AutoRejoiner(matrix, interval=0.01)
+        dispatched = threading.Event()
+
+        def dispatch(fn):
+            result = fn()
+            dispatched.set()
+            return result
+
+        policy.start(dispatch=dispatch)
+        try:
+            assert dispatched.wait(timeout=10)
+        finally:
+            policy.stop()
+        assert policy.last_error is None
+        assert matrix.missing_replicas() == 0
+        assert len(policy.events) == 1
+        policy.stop()  # idempotent
