@@ -10,14 +10,17 @@ ingest.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 import pytest
 
-from repro.graphblas import Matrix, binary, coords
+from repro.core import HierarchicalMatrix
+from repro.graphblas import Matrix, arena, binary, coords
 from repro.graphblas import _kernels as K
 from repro.graphblas.io import random_hypersparse
+from repro.workloads import paper_stream
 
 from .conftest import scaled, update_bench_json, write_report
 
@@ -28,6 +31,40 @@ ACCUMULATED_SIZES = [10_000, 100_000, 1_000_000]
 
 _timings = {}
 _packed_vs_fallback = {}
+_arena_results = {}
+_mxm_results = {}
+
+#: Arena-vs-list assertion floor: the arena ingest must be at least this much
+#: faster than the chunk-list backend (1.0 = no slower).  Overridable for
+#: noisy shared runners.
+ARENA_FLOOR = float(os.environ.get("REPRO_BENCH_ARENA_FLOOR", "1.0"))
+
+#: Ceiling on tracked/untracked streaming time at the 1M-entry scale.  The
+#: segmented catch-up brought the tracker to parity (~1.0x, was ~1.45x); the
+#: default leaves 10% headroom for runner noise.
+TRACKED_CEILING = float(os.environ.get("REPRO_BENCH_TRACKED_CEILING", "1.10"))
+
+#: Packed-key mxm must beat the lexsort fallback by at least this factor.
+MXM_FLOOR = float(os.environ.get("REPRO_BENCH_MXM_FLOOR", "1.0"))
+
+
+def _interleaved_best(fn_a, fn_b, repeats=3):
+    """Interleaved best-of-N of two competitors (first round warms caches).
+
+    Interleaving A/B/A/B instead of AAA/BBB keeps slow drifts of a shared
+    runner (thermal, noisy neighbours) from landing entirely on one side.
+    """
+    fn_a()
+    fn_b()
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
 
 
 def _best_of(fn, repeats=3):
@@ -242,3 +279,228 @@ class TestPackedVsLexsort:
                 },
             },
         )
+
+
+class TestMxmPackedVsLexsort:
+    """Product-key grouping in ``mxm``: single packed argsort vs lexsort."""
+
+    NNZ = scaled(100_000, minimum=20_000)
+    NODES = max(NNZ // 2, 1_000)  # keeps the product count ~2x nnz at any scale
+
+    @staticmethod
+    def _operand(seed, nnz, nodes):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, nodes, nnz, dtype=np.uint64)
+        cols = rng.integers(0, nodes, nnz, dtype=np.uint64)
+        return Matrix("fp64", 2**32, 2**32).build(rows, cols, rng.random(nnz))
+
+    def test_mxm_packed_vs_fallback(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        A = self._operand(17, self.NNZ, self.NODES)
+        B = self._operand(19, self.NNZ, self.NODES)
+        packed_s = _best_of(lambda: A.mxm(B))
+        with coords.packing_disabled():
+            fallback_s = _best_of(lambda: A.mxm(B))
+        out = A.mxm(B)
+        with coords.packing_disabled():
+            reference = A.mxm(B)
+        assert out.isequal(reference, check_dtype=True)
+        speedup = fallback_s / packed_s if packed_s > 0 else float("inf")
+        _mxm_results.update(
+            {
+                "nnz_per_operand": self.NNZ,
+                "distinct_nodes": self.NODES,
+                "product_nvals": int(out.nvals),
+                "packed_seconds": round(packed_s, 6),
+                "lexsort_seconds": round(fallback_s, 6),
+                "speedup": round(speedup, 4),
+            }
+        )
+        assert speedup >= MXM_FLOOR, (
+            f"packed-key mxm is {speedup:.2f}x the lexsort fallback, below the "
+            f"{MXM_FLOOR}x floor (REPRO_BENCH_MXM_FLOOR)"
+        )
+
+    def test_zz_mxm_report(self, benchmark, results_dir):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert _mxm_results, "mxm timing must run before the report"
+        update_bench_json(results_dir, "mxm", dict(_mxm_results))
+
+
+class TestArenaIngest:
+    """Arena pending buffers vs the legacy chunk-list backend.
+
+    The A/B isolates exactly what PR 10 changed: one steady-state ingest
+    window — batch appends into a pending buffer, one flush-time
+    materialisation (``views``), then ``reset`` for the next window.  Matrix
+    and tracker buffers live across windows, so the arena runs warm: appends
+    land in already-reserved storage and views are zero-copy slices.  The
+    chunk-list backend copies per batch, reallocates every window, *and*
+    concatenates every column at flush.  Both sides run the same code through
+    ``arena.make_pending`` — only the construction context differs.
+    """
+
+    SMALL = scaled(300_000, minimum=30_000)
+    LARGE = 1_000_000  # fixed: the scale where flush concatenation hurt most
+    NBATCHES = 100
+    TRACKER_CUTS = [2**13, 2**16, 2**19]
+
+    @staticmethod
+    def _batches(total, nbatches, seed):
+        rng = np.random.default_rng(seed)
+        size = max(total // nbatches, 1)
+        out = []
+        for _ in range(nbatches):
+            rows = rng.integers(0, 2**32, size, dtype=np.uint64)
+            cols = rng.integers(0, 2**32, size, dtype=np.uint64)
+            bits = arena.value_bits(rng.random(size), np.float64)
+            out.append((rows, cols, bits))
+        return out
+
+    @staticmethod
+    def _window(pend, batches):
+        """One steady-state window: appends, flush-time views, reset."""
+        for rows, cols, bits in batches:
+            pend.append(rows, cols, bits)
+        views = pend.views()  # chunk backend pays its concatenation here
+        total = int(views[0].size)
+        pend.reset()
+        return total
+
+    @pytest.mark.parametrize(
+        "total", [SMALL, LARGE], ids=[f"{SMALL}", f"{LARGE}"]
+    )
+    def test_arena_vs_list_pending(self, benchmark, total):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        batches = self._batches(total, self.NBATCHES, seed=7)
+        arena_pend = arena.make_pending(3)
+        with arena.arena_disabled():
+            list_pend = arena.make_pending(3)
+        # The warm-up round inside _interleaved_best grows the arena to
+        # window capacity; timed rounds then run the steady state.
+        arena_s, list_s = _interleaved_best(
+            lambda: self._window(arena_pend, batches),
+            lambda: self._window(list_pend, batches),
+            repeats=5,
+        )
+        speedup = list_s / arena_s if arena_s > 0 else float("inf")
+        _arena_results[f"pending_{total}"] = {
+            "total_entries": total,
+            "nbatches": self.NBATCHES,
+            "arena_seconds": round(arena_s, 6),
+            "list_seconds": round(list_s, 6),
+            "speedup": round(speedup, 4),
+        }
+        assert speedup >= ARENA_FLOOR, (
+            f"arena ingest at {total:,} entries is {speedup:.2f}x the list "
+            f"backend, below the {ARENA_FLOOR}x floor (REPRO_BENCH_ARENA_FLOOR)"
+        )
+
+    def test_steady_state_flushes_never_concatenate(self, benchmark):
+        """Warm arena windows: zero concatenations, zero further growth."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        M = Matrix("fp64", 2**32, 2**32)
+        rng = np.random.default_rng(3)
+        concat_before = arena.concat_calls()
+        grow_after_warmup = None
+        for window in range(12):
+            for _ in range(2):  # two lazy batches per window
+                rows = rng.integers(0, 2**32, 5_000, dtype=np.uint64)
+                cols = rng.integers(0, 2**32, 5_000, dtype=np.uint64)
+                M.build(rows, cols, np.ones(5_000), lazy=True)
+            M.wait()
+            if window == 0:
+                grow_after_warmup = arena.grow_calls()
+        assert arena.concat_calls() == concat_before, (
+            "steady-state arena flushes must never concatenate pending chunks"
+        )
+        assert arena.grow_calls() == grow_after_warmup, (
+            "a reset arena keeps its capacity: later windows must not regrow"
+        )
+
+    def test_growth_ladder_is_geometric(self, benchmark):
+        """Filling N entries costs at most one growth per capacity doubling."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        pend = arena.PendingArena(1)
+        target = 1 << 20
+        chunk = np.arange(4096, dtype=np.uint64)
+        while pend.used < target:
+            pend.append(chunk)
+        doublings = int(np.ceil(np.log2(pend.capacity / arena.MIN_CAPACITY)))
+        assert pend.grow_count <= doublings, (
+            f"{pend.grow_count} growths to reach capacity {pend.capacity} "
+            f"(geometric ladder allows {doublings})"
+        )
+
+    def test_tracked_overhead_at_1m(self, benchmark):
+        """Reduction tracking at 1M entries: at or near streaming parity."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        batches = [
+            (b.rows, b.cols, b.values)
+            for b in paper_stream(
+                total_entries=self.LARGE, nbatches=self.NBATCHES, seed=23
+            )
+        ]
+
+        def stream(track):
+            H = HierarchicalMatrix(
+                2**32,
+                2**32,
+                cuts=self.TRACKER_CUTS,
+                track_stats=False,
+                track_reductions=track,
+            )
+            for rows, cols, vals in batches:
+                H.update(rows, cols, vals)
+            return H
+
+        tracked_s, untracked_s = _interleaved_best(
+            lambda: stream(True), lambda: stream(False), repeats=5
+        )
+        overhead = tracked_s / untracked_s if untracked_s > 0 else float("inf")
+        _arena_results["tracker_1m"] = {
+            "total_entries": self.LARGE,
+            "nbatches": self.NBATCHES,
+            "cuts": list(self.TRACKER_CUTS),
+            "tracked_seconds": round(tracked_s, 6),
+            "untracked_seconds": round(untracked_s, 6),
+            "overhead": round(overhead, 4),
+        }
+        assert overhead <= TRACKED_CEILING, (
+            f"tracked streaming at 1M is {overhead:.2f}x untracked, above the "
+            f"{TRACKED_CEILING}x ceiling (REPRO_BENCH_TRACKED_CEILING)"
+        )
+
+    def test_zz_arena_report(self, benchmark, results_dir):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        expected = {f"pending_{self.SMALL}", f"pending_{self.LARGE}", "tracker_1m"}
+        assert expected <= set(_arena_results)
+        lines = [
+            "Arena-backed ingest core: preallocated pending arenas (PR 10)",
+            "",
+            f"{'workload':>24} {'arena s':>10} {'list s':>10} {'speedup':>9}",
+            "-" * 56,
+        ]
+        for key in sorted(k for k in _arena_results if k.startswith("pending_")):
+            t = _arena_results[key]
+            lines.append(
+                f"{t['total_entries']:>16,} x {t['nbatches']:>3}b "
+                f"{t['arena_seconds']:>10.6f} {t['list_seconds']:>10.6f} "
+                f"{t['speedup']:>8.2f}x"
+            )
+        tr = _arena_results["tracker_1m"]
+        lines += [
+            "",
+            f"tracked-vs-untracked streaming at {tr['total_entries']:,} entries "
+            f"(cuts {tr['cuts']}):",
+            f"  tracked {tr['tracked_seconds']:.3f}s  untracked "
+            f"{tr['untracked_seconds']:.3f}s  overhead {tr['overhead']:.2f}x "
+            f"(ceiling {TRACKED_CEILING}x)",
+            "",
+            "the arena appends into preallocated columns and serves zero-copy",
+            "views at flush; the chunk-list backend copies per batch and pays a",
+            "full concatenation per flush.  tracker catch-up is a segmented",
+            "merge of presorted flush keys, so tracking streams at parity.",
+        ]
+        write_report(results_dir, "arena_sweep", lines)
+        update_bench_json(results_dir, "arena", dict(_arena_results))

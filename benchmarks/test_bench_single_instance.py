@@ -86,9 +86,12 @@ class TestSingleInstanceRates:
         _RESULTS["flat GraphBLAS"] = result.updates_per_second
 
     def test_hierarchical_d4m(self, benchmark):
+        # The D4M streams are tiny (milliseconds per pass) and the
+        # hierarchical-vs-flat D4M margin is only ~10%, so take best-of-5 to
+        # keep the zz shape assertion out of scheduler noise.
         result = benchmark.pedantic(
             _ingest,
-            args=(lambda: HierarchicalD4MIngestor(cuts=[1000, 10_000, 100_000]), N_UPDATES_D4M, N_BATCHES_D4M),
+            args=(lambda: HierarchicalD4MIngestor(cuts=[1000, 10_000, 100_000]), N_UPDATES_D4M, N_BATCHES_D4M, 5),
             rounds=1,
             iterations=1,
         )
@@ -97,7 +100,7 @@ class TestSingleInstanceRates:
     def test_flat_d4m(self, benchmark):
         result = benchmark.pedantic(
             _ingest,
-            args=(lambda: FlatD4MIngestor(), N_UPDATES_D4M, N_BATCHES_D4M),
+            args=(lambda: FlatD4MIngestor(), N_UPDATES_D4M, N_BATCHES_D4M, 5),
             rounds=1,
             iterations=1,
         )

@@ -251,8 +251,23 @@ class HierarchicalMatrix:
 
     @property
     def memory_usage(self) -> int:
-        """Approximate bytes of coordinate/value storage across all layers."""
+        """Approximate resident bytes of coordinate/value storage across all layers."""
         return sum(layer.memory_usage for layer in self._layers)
+
+    @property
+    def memory_breakdown(self) -> dict:
+        """Per-role byte totals summed over layers (stored vs pending used/capacity).
+
+        Same keys as :attr:`Matrix.memory_breakdown
+        <repro.graphblas.matrix.Matrix.memory_breakdown>`; placement
+        decisions should follow ``pending_capacity_bytes`` (resident) while
+        traffic estimates follow ``pending_used_bytes`` (live data).
+        """
+        total = {"stored_bytes": 0, "pending_used_bytes": 0, "pending_capacity_bytes": 0}
+        for layer in self._layers:
+            for key, nbytes in layer.memory_breakdown.items():
+                total[key] += nbytes
+        return total
 
     # ------------------------------------------------------------------ #
     # updates
@@ -284,17 +299,10 @@ class HierarchicalMatrix:
             v = np.full(n, values, dtype=self._dtype.np_type)
         else:
             v = np.asarray(values).astype(self._dtype.np_type, copy=False)
+        # No defensive copies: both the layer-1 pending buffer and the
+        # tracker backlog are preallocated arenas that copy at append time,
+        # so caller-owned arrays are safe to reuse immediately.
         track = self._incremental.supported
-        if track or self._defer_ingest:
-            # One defensive copy, shared by the layer-1 pending buffer and the
-            # tracker backlog (neither ever mutates its buffered arrays);
-            # freshly allocated conversions above are already private.
-            if r is rows:
-                r = r.copy()
-            if c is cols:
-                c = c.copy()
-            if v is values:
-                v = v.copy()
         self._layers[0].build(
             r, c, v, dup_op=self._accum, lazy=self._defer_ingest, copy=False
         )

@@ -61,7 +61,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..graphblas import coords
+from ..graphblas import arena, coords
 from ..graphblas import _kernels as K
 from ..graphblas._kernels import _key_group_starts, _merge_sorted_keys
 from ..graphblas.binaryop import BinaryOp, binary
@@ -196,11 +196,15 @@ class IncrementalReductions:
     key_cuts:
         Level cuts of the distinct-coordinate :class:`KeySetCascade`.
     drain_interval:
-        Catch up the deferred reduction buffers after this many observed
-        updates even if nothing was read (default :math:`2^{18}`).  This
-        bounds both the backlog memory and the worst-case latency of the
-        *first* stats query after a long uninterrupted stream, exactly as the
-        hierarchy's first cut bounds its layer-1 pending buffer.
+        Catch up the deferred reduction state after this many buffered
+        updates even if nothing was read (default :math:`2^{20}`).  This is
+        a safety valve, not a pacing knob: it bounds the raw backlog, the
+        key-segment store, and the traffic vectors' pending arenas (plus the
+        worst-case latency of the *first* stats query after a long
+        uninterrupted stream), exactly as the hierarchy's first cut bounds
+        its layer-1 pending buffer.  Streams shorter than the interval pay
+        **zero** in-stream catch-ups — all deferred work amortises onto the
+        first read.
 
     Query surface (shared with the sharded cross-shard view):
 
@@ -218,7 +222,7 @@ class IncrementalReductions:
         *,
         enabled: bool = True,
         key_cuts: Optional[Sequence[int]] = None,
-        drain_interval: int = 2 ** 18,
+        drain_interval: int = 2 ** 20,
     ):
         self._nrows = int(nrows)
         self._ncols = int(ncols)
@@ -232,19 +236,22 @@ class IncrementalReductions:
         self._row_fan = Vector(self._dtype, self._nrows, name="row_fan")
         self._col_fan = Vector(self._dtype, self._ncols, name="col_fan")
         self._keys = KeySetCascade(key_cuts)
-        # Deferred work: per-batch (rows, cols, values) references.  One fused
-        # drain serves all four vectors and the key cascade from a single
-        # packed-key sort (plus one column-order sort), instead of each
-        # consumer re-sorting its own copy of the backlog.
-        self._backlog: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        self._backlog_count = 0
-        # Sorted, duplicate-collapsed windows absorbed from layer-1 flushes
-        # (see :meth:`absorb_flush`): (rows, cols, vals, keys-or-None).
-        self._runs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
-        self._runs_count = 0
+        # Deferred work, arena-backed: raw observations buffer as contiguous
+        # (rows, cols, value-bits) columns — appends are memcpys — and one
+        # fused drain serves all four vectors and the key cascade from a
+        # single packed-key sort (plus one column-order sort), instead of
+        # each consumer re-sorting its own copy of the backlog.
+        self._backlog = arena.make_pending(3)
+        # Sorted packed-key segments inherited from layer-1 flushes (see
+        # :meth:`absorb_flush`); their traffic contributions ride the
+        # vectors' own pending arenas, so only the distinct-key work remains
+        # here.  ``_deferred_count`` tracks entries stashed since the last
+        # catch-up (= each vector's pending depth).
+        self._key_segments = arena.make_pending(1)
+        self._deferred_count = 0
         self._drain_interval = max(int(drain_interval), 1)
         #: Flush windows whose sort/collapse the tracker inherited for free
-        #: (:meth:`absorb_flush`), catch-up merges over pre-collapsed runs
+        #: (:meth:`absorb_flush`), catch-ups over deferred flush segments
         #: only, and catch-ups that paid a full sort over raw triples.
         #: Diagnostics for the ingest-overhead regression benchmark.
         self.piggybacked_drains = 0
@@ -285,9 +292,9 @@ class IncrementalReductions:
         values:
             Per-coordinate values or a scalar broadcast over the batch.
         copy:
-            Copy caller-supplied arrays before buffering (the ingest path
-            must stay safe against callers reusing batch buffers).  Internal
-            callers that hand over ownership pass ``copy=False``.
+            Accepted for API compatibility.  The backlog arena copies every
+            batch at append time (canonicalising values to raw bits in the
+            same pass), so callers may reuse their buffers either way.
         """
         if not self._supported:
             return
@@ -298,17 +305,9 @@ class IncrementalReductions:
         if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
             v = np.full(r.size, values, dtype=self._dtype.np_type)
         else:
-            v = np.asarray(values).astype(self._dtype.np_type, copy=False)
-        if copy:
-            if r is rows:
-                r = r.copy()
-            if c is cols:
-                c = c.copy()
-            if v is values:
-                v = v.copy()
-        self._backlog.append((r, c, v))
-        self._backlog_count += r.size
-        if self._backlog_count >= self._drain_interval:
+            v = np.asarray(values)
+        self._backlog.append(r, c, arena.value_bits(v, self._dtype.np_type))
+        if self._backlog.used >= self._drain_interval:
             self._drain()
 
     def observe_matrix(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
@@ -324,62 +323,72 @@ class IncrementalReductions:
     def _drain(self) -> None:
         """Fused amortised catch-up of every deferred reduction (periodic or on read).
 
-        One stable argsort of the packed coordinate keys serves three
-        consumers at once — row sums (keys sort row-major), the distinct-key
-        dedupe feeding fan/nnz, and the cascade insertion — and a second sort
-        by column serves the column sums.  Unpackable (IPv6) shapes fall back
-        to two plain per-axis sorts with fan tracking disabled.
-
-        Input is the raw backlog plus any flush windows absorbed by
-        :meth:`absorb_flush` — those are already sorted and collapsed, so a
-        lone run skips the argsort entirely and mixed input sorts a much
-        smaller (pre-collapsed) array than the raw stream it summarises.
+        Two independent stores feed it.  The *raw backlog* (updates observed
+        since the last aligned flush) pays the full treatment: one stable
+        argsort of the packed coordinate keys serves three consumers at once
+        — row sums (keys sort row-major), the distinct-key dedupe feeding
+        fan/nnz, and the cascade insertion — and a second sort by column
+        serves the column sums.  Unpackable (IPv6) shapes fall back to two
+        plain per-axis sorts with fan tracking disabled.  The backlog is an
+        arena, so the sorts read its used prefix directly — no concatenation
+        of per-batch chunks.  The *flush segments* absorbed by
+        :meth:`absorb_flush` then settle via :meth:`_catch_up`, which never
+        sees raw triples at all.
         """
-        had_raw = bool(self._backlog)
-        if not had_raw and not self._runs:
-            return
-        if not had_raw and len(self._runs) == 1:
-            r, c, v, keys = self._runs[0]
-            self._clear_deferred()
-            self.run_merges += 1
-            self._merge_window(r, c, v, keys)
-            return
-        chunks = [(r, c, v) for (r, c, v, _keys) in self._runs] + self._backlog
-        if len(chunks) == 1:
-            r, c, v = chunks[0]
-        else:
-            r = np.concatenate([b[0] for b in chunks])
-            c = np.concatenate([b[1] for b in chunks])
-            v = np.concatenate([b[2] for b in chunks])
-        self._clear_deferred()
-        if had_raw:
+        if self._backlog.used:
             self.full_drains += 1
-        else:
-            self.run_merges += 1
+            r, c, bits = self._backlog.views()
+            v = arena.bits_to_values(bits, self._dtype.np_type)
+            if self._fan_supported:
+                keys = coords.pack(r, c, self._spec)
+                order = np.argsort(keys, kind="stable")
+                skeys = keys[order]
+                idx, sums = self._group_reduce(
+                    skeys >> np.uint64(self._spec.col_bits), v[order]
+                )
+                self._row_traffic.merge_sorted(idx, sums)
+                unique_keys = skeys[_key_group_starts(skeys)]
+                self._insert_new_keys(unique_keys)
+            else:
+                order = np.argsort(r, kind="stable")
+                idx, sums = self._group_reduce(r[order], v[order])
+                self._row_traffic.merge_sorted(idx, sums)
+            col_order = np.argsort(c, kind="stable")
+            cidx, csums = self._group_reduce(c[col_order], v[col_order])
+            self._col_traffic.merge_sorted(cidx, csums)
+            self._backlog.reset()
+        self._catch_up()
 
-        if self._fan_supported:
-            keys = coords.pack(r, c, self._spec)
-            order = np.argsort(keys, kind="stable")
-            skeys = keys[order]
-            idx, sums = self._group_reduce(
-                skeys >> np.uint64(self._spec.col_bits), v[order]
-            )
-            self._row_traffic.merge_sorted(idx, sums)
-            unique_keys = skeys[_key_group_starts(skeys)]
-            self._insert_new_keys(unique_keys)
-        else:
-            order = np.argsort(r, kind="stable")
-            idx, sums = self._group_reduce(r[order], v[order])
-            self._row_traffic.merge_sorted(idx, sums)
-        col_order = np.argsort(c, kind="stable")
-        cidx, csums = self._group_reduce(c[col_order], v[col_order])
-        self._col_traffic.merge_sorted(cidx, csums)
+    def _catch_up(self) -> None:
+        """Settle the deferred flush segments (the read-time half of the design).
+
+        The traffic contributions of absorbed flush windows already live in
+        the vectors' own pending arenas (appended by :meth:`absorb_flush`),
+        so catching up costs exactly one vector ``_wait`` each — a single
+        index argsort plus an O(n) merge, independent of how many windows
+        accumulated.  The distinct-key work sorts the stashed key segments
+        in one shot: the segment store is a concatenation of sorted runs, so
+        the stable (timsort) ``np.sort`` detects the runs and merges them in
+        far under a from-scratch sort's budget, and a single pass of the
+        result through the cascade replaces one :meth:`_insert_new_keys`
+        call *per window* with one per catch-up.
+        """
+        if self._deferred_count == 0:
+            return
+        self.run_merges += 1
+        if self._key_segments.used:
+            (segments,) = self._key_segments.views()
+            skeys = np.sort(segments, kind="stable")
+            self._key_segments.reset()
+            self._insert_new_keys(skeys[_key_group_starts(skeys)])
+        self._row_traffic._wait()
+        self._col_traffic._wait()
+        self._deferred_count = 0
 
     def _clear_deferred(self) -> None:
-        self._backlog.clear()
-        self._backlog_count = 0
-        self._runs.clear()
-        self._runs_count = 0
+        self._backlog.reset()
+        self._key_segments.reset()
+        self._deferred_count = 0
 
     def _insert_new_keys(self, unique_keys: np.ndarray) -> None:
         """Dedupe sorted distinct keys against the cascade; update fan vectors."""
@@ -398,56 +407,44 @@ class IncrementalReductions:
         )
         self._col_fan.merge_sorted(nc_idx, nc_counts)
 
-    def _merge_window(self, rows, cols, vals, keys) -> None:
-        """Merge one sorted, duplicate-collapsed window into the vectors.
-
-        The window's sort was inherited from a layer-1 flush, so no argsort
-        is needed for the row-major consumers — only the column-order sort.
-        """
-        if self._fan_supported and keys is not None:
-            idx, sums = self._group_reduce(keys >> np.uint64(self._spec.col_bits), vals)
-            self._row_traffic.merge_sorted(idx, sums)
-            self._insert_new_keys(keys)
-        else:
-            # Sorted lexicographically by (row, col): rows already grouped.
-            idx, sums = self._group_reduce(rows, vals)
-            self._row_traffic.merge_sorted(idx, sums)
-        col_order = np.argsort(cols, kind="stable")
-        cidx, csums = self._group_reduce(cols[col_order], vals[col_order])
-        self._col_traffic.merge_sorted(cidx, csums)
-
     def absorb_flush(self, raw_count, op, rows, cols, vals, keys=None, spec=None) -> bool:
-        """Absorb a layer-1 flush's already-sorted output as a deferred run.
+        """Absorb a layer-1 flush's already-sorted output as deferred segments.
 
         ``HierarchicalMatrix`` registers this as the layer-1
         :attr:`Matrix.flush_hook`: the flush has just paid for a stable
         packed-key sort and duplicate collapse of exactly the update window
         the tracker has been buffering, so the tracker swaps its raw copy of
-        the window for the flush's collapsed output — an O(1) handoff on the
-        ingest path (historically the tracker's own periodic re-sorts of the
-        same triples cost ~40% ingest rate on long unqueried streams).  The
-        stashed runs are merged into the reduction vectors by the next
-        :meth:`_drain` (on read, or here once their combined size reaches the
-        drain interval), which therefore sees pre-collapsed — and for a lone
-        run, pre-sorted — input instead of the raw stream.
+        the window for the flush's collapsed output (historically the
+        tracker's own periodic re-sorts of the same triples cost ~40% ingest
+        rate on long unqueried streams).  The handoff itself stays on the
+        ingest hot path, so it does only memcpys: the window's (row, value)
+        and (column, value) pairs are lazily appended straight into the
+        traffic vectors' pending arenas (one ``build(lazy=True)`` each), and
+        its sorted packed keys are stashed as a segment for the distinct-key
+        cascade.  All the remaining merge/sort work lands in
+        :meth:`_catch_up` — on the next read, or here once the deferred
+        depth reaches the drain interval — where it amortises across every
+        window absorbed since: one index sort + O(n) merge per vector and
+        one timsort over the concatenated sorted key segments, instead of
+        per-window searchsorted merges against the full reduction vectors.
 
         Alignment is verified by count: the hierarchy appends every update to
         the layer-1 pending buffer and the tracker backlog in lockstep, so
-        the flush's pre-collapse size equals ``_backlog_count`` unless the
+        the flush's pre-collapse size equals the backlog depth unless the
         tracker drained mid-window (an interval drain inside ``observe`` or a
         stats read).  On any mismatch the tracker falls back to a normal
         :meth:`_drain` — correct either way, just without the free sort.
 
         Exactness: the flush output is collapsed per coordinate (stable,
         insertion order) before the per-row/per-column regrouping of the
-        eventual drain, while a raw drain groups the triples directly.  Both
-        orderings sum the same multiset per index, so results are identical
-        for any exactly representable values — the same qualifier the
-        maintained vectors already carry (see module docstring).
+        eventual catch-up, while a raw drain groups the triples directly.
+        Both orderings sum the same multiset per index, so results are
+        identical for any exactly representable values — the same qualifier
+        the maintained vectors already carry (see module docstring).
         """
         if not self._supported:
             return False
-        if raw_count <= 0 or raw_count != self._backlog_count:
+        if raw_count <= 0 or raw_count != self._backlog.used:
             # Mid-window drain desynced the window; drain now so the next
             # flush window starts aligned with an empty backlog.
             self._drain()
@@ -455,25 +452,35 @@ class IncrementalReductions:
         if op.name != "plus":
             self._drain()
             return False
-        self._backlog.clear()
-        self._backlog_count = 0
-        v = np.asarray(vals).astype(self._dtype.np_type, copy=False)
+        self._backlog.reset()
+        if self.piggybacked_drains == 0:
+            # First piggybacked flush: this matrix is streaming for real, and
+            # the deferred stores are bounded by the drain interval, so
+            # reserve them once up front — geometric-growth prefix copies
+            # never hit the ingest hot path, and the untouched tail of the
+            # reservation stays uncommitted (address space, not RSS).
+            self._row_traffic.reserve_pending(self._drain_interval)
+            self._col_traffic.reserve_pending(self._drain_interval)
+            self._key_segments.reserve(self._drain_interval)
+        # Straight into the vectors' pending arenas: the flush output is
+        # already validated uint64/in-range, so the public build()'s
+        # conversion and bounds checks would be pure per-flush overhead.
+        self._row_traffic._append_pending(rows, vals, binary.plus)
+        self._col_traffic._append_pending(cols, vals, binary.plus)
         if self._fan_supported:
             if keys is None or spec != self._spec:
                 # Packing is monotone in lexicographic (row, col) order, so
                 # re-packing the sorted flush output under the tracker's own
                 # split keeps it sorted — no new argsort needed.
                 keys = coords.pack(rows, cols, self._spec)
-        else:
-            keys = None
-        self._runs.append((rows, cols, v, keys))
-        self._runs_count += int(rows.size)
+            self._key_segments.append(keys)
+        self._deferred_count += int(rows.size)
         self.piggybacked_drains += 1
-        if self._runs_count >= self._drain_interval:
+        if self._deferred_count >= self._drain_interval:
             # Same memory/first-query bound the raw backlog has, but over
-            # collapsed runs: fewer catch-ups, each on smaller input.  The
-            # raw backlog is empty here, so this is a run-only merge.
-            self._drain()
+            # collapsed windows: the raw backlog is empty here, so this
+            # settles the deferred segments only.
+            self._catch_up()
         return True
 
     # ------------------------------------------------------------------ #
@@ -561,6 +568,6 @@ class IncrementalReductions:
         )
         return (
             f"<IncrementalReductions {state}, "
-            f"backlog={self._backlog_count}+{self._runs_count}, "
+            f"backlog={self._backlog.used}+{self._deferred_count}, "
             f"distinct={self._keys.count}>"
         )

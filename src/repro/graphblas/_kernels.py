@@ -48,8 +48,10 @@ __all__ = [
     "intersect_merge",
     "difference_mask",
     "membership_mask",
+    "sorted_membership",
     "search_sorted_coo",
     "group_starts",
+    "key_group_starts",
 ]
 
 #: dtype used for row/column coordinates throughout the library.
@@ -161,6 +163,11 @@ def _key_group_starts(keys: np.ndarray) -> np.ndarray:
     new_group[0] = True
     np.not_equal(keys[1:], keys[:-1], out=new_group[1:])
     return np.flatnonzero(new_group)
+
+
+#: Public alias: single-key group starts for callers that sort in packed key
+#: space themselves (the packed ``mxm`` product path, the tracker catch-up).
+key_group_starts = _key_group_starts
 
 
 def _reduce_groups(
@@ -516,6 +523,24 @@ def difference_mask(
 ) -> np.ndarray:
     """Boolean mask marking (rows, cols) pairs *not* present in the other set."""
     return ~membership_mask(rows, cols, other_rows, other_cols)
+
+
+def sorted_membership(values: np.ndarray, selection: np.ndarray) -> np.ndarray:
+    """Boolean mask of which ``values`` appear in ``selection`` (any order).
+
+    Sorts the (typically small) selection once and binary-searches every
+    value against it — O((n + s) log s) with no hash set or per-value scan.
+    This is the join underneath the ``extract`` fast path, replacing
+    ``np.isin`` over the stored coordinate columns; the reference engine
+    (``coords.packing_disabled``) keeps the ``np.isin`` path for the
+    two-engine conformance tests.
+    """
+    if values.size == 0 or selection.size == 0:
+        return np.zeros(values.size, dtype=bool)
+    sel = np.sort(selection, kind="stable")
+    pos = np.searchsorted(sel, values)
+    pos = np.minimum(pos, sel.size - 1)
+    return sel[pos] == values
 
 
 def search_sorted_coo(

@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from . import _kernels as K
+from . import arena, coords
 from .binaryop import BinaryOp, binary
 from .descriptor import NULL_DESCRIPTOR, Descriptor
 from .errors import (
@@ -82,10 +83,7 @@ class Matrix:
         "_rows",
         "_cols",
         "_vals",
-        "_pend_rows",
-        "_pend_cols",
-        "_pend_vals",
-        "_pend_count",
+        "_pend",
         "_pend_op",
         "flush_hook",
         "name",
@@ -102,10 +100,10 @@ class Matrix:
         self._rows = np.empty(0, dtype=K.INDEX_DTYPE)
         self._cols = np.empty(0, dtype=K.INDEX_DTYPE)
         self._vals = np.empty(0, dtype=self._dtype.np_type)
-        self._pend_rows: list = []
-        self._pend_cols: list = []
-        self._pend_vals: list = []
-        self._pend_count = 0
+        # Pending (row, col, value-bits) triples live in a preallocated
+        # arena: appends are memcpys, the flush sorts the used prefix
+        # directly — no per-flush concatenation.
+        self._pend = arena.make_pending(3)
         self._pend_op: Optional[BinaryOp] = None
         # Optional observer of pending-buffer flushes.  Called from _wait()
         # as hook(raw_count, op, rows, cols, vals, keys, spec) with the
@@ -239,20 +237,36 @@ class Matrix:
         hierarchical cascade uses it to decide cheaply when a layer may need
         flushing.
         """
-        return int(self._rows.size) + self._pend_count
+        return int(self._rows.size) + self._pend.used
 
     @property
     def has_pending(self) -> bool:
         """True when scalar insertions are buffered but not yet merged."""
-        return self._pend_count > 0
+        return self._pend.used > 0
+
+    @property
+    def memory_breakdown(self) -> dict:
+        """Resident bytes by role: stored arrays vs pending used/capacity.
+
+        The pending arena preallocates geometrically, so its resident
+        footprint (``pending_capacity_bytes``) can exceed the live data
+        (``pending_used_bytes``); spill/placement decisions must follow the
+        capacity while traffic estimates follow the used bytes (see
+        :meth:`repro.memory.hierarchy.MemoryHierarchy.placement_level`).
+        """
+        return {
+            "stored_bytes": int(
+                self._rows.nbytes + self._cols.nbytes + self._vals.nbytes
+            ),
+            "pending_used_bytes": int(self._pend.used_bytes),
+            "pending_capacity_bytes": int(self._pend.capacity_bytes),
+        }
 
     @property
     def memory_usage(self) -> int:
-        """Approximate bytes used by coordinate and value storage."""
-        pending = sum(
-            a.nbytes for chunk in (self._pend_rows, self._pend_cols, self._pend_vals) for a in chunk
-        )
-        return int(self._rows.nbytes + self._cols.nbytes + self._vals.nbytes + pending)
+        """Approximate resident bytes: stored arrays plus pending *capacity*."""
+        b = self.memory_breakdown
+        return b["stored_bytes"] + b["pending_capacity_bytes"]
 
     @property
     def T(self) -> "Matrix":
@@ -269,17 +283,16 @@ class Matrix:
         The whole pending buffer shares one combining operator; switching
         operators (e.g. interleaving ``setElement`` replace semantics with a
         lazy ``plus`` build) flushes the buffer first so ordering semantics
-        are preserved exactly.
+        are preserved exactly.  Values are canonicalised to the matrix dtype
+        here — as raw bits, so the flush never re-casts — and the arena
+        copies, so callers may reuse their batch buffers freely.
         """
         if r.size == 0:
             return
-        if self._pend_count and self._pend_op is not None and self._pend_op is not op:
+        if self._pend.used and self._pend_op is not None and self._pend_op is not op:
             self._wait()
         self._pend_op = op
-        self._pend_rows.append(r)
-        self._pend_cols.append(c)
-        self._pend_vals.append(v)
-        self._pend_count += r.size
+        self._pend.append(r, c, arena.value_bits(v, self._dtype.np_type))
 
     def _wait(self) -> None:
         """Merge any pending tuples into the sorted representation.
@@ -292,28 +305,28 @@ class Matrix:
         lazy ``build`` buffers under its ``dup_op`` (``plus`` for the
         streaming-accumulate hot path).
         """
-        if self._pend_count == 0:
+        if self._pend.used == 0:
             return
-        raw_count = self._pend_count
+        raw_count = self._pend.used
         op = self._pend_op if self._pend_op is not None else binary.second
-        if len(self._pend_rows) == 1:
-            pr, pc, pv = self._pend_rows[0], self._pend_cols[0], self._pend_vals[0]
-            pv = pv.astype(self._dtype.np_type, copy=False)
-        else:
-            pr = np.concatenate(self._pend_rows)
-            pc = np.concatenate(self._pend_cols)
-            pv = np.concatenate(self._pend_vals).astype(self._dtype.np_type, copy=False)
-        self._pend_rows.clear()
-        self._pend_cols.clear()
-        self._pend_vals.clear()
-        self._pend_count = 0
-        self._pend_op = None
+        pr_v, pc_v, bits_v = self._pend.views()
+        pv_v = arena.bits_to_values(bits_v, self._dtype.np_type)
         # One flush packs its pending triples exactly once: build_triples
         # hands the sorted keys (and their split) onward, and union_merge
         # reuses them whenever the merge plans the same split — always true
         # while stored and pending coordinates share the canonical 32/32
         # plan, i.e. the whole IPv4 traffic-matrix hot path.
-        pr, pc, pv, pk, pspec = K.build_triples(pr, pc, pv, op, with_keys=True)
+        pr, pc, pv, pk, pspec = K.build_triples(pr_v, pc_v, pv_v, op, with_keys=True)
+        # build_triples passes already-sorted duplicate-free input through
+        # unchanged; detach such outputs from the arena before it is reused.
+        if pr is pr_v:
+            pr = pr.copy()
+        if pc is pc_v:
+            pc = pc.copy()
+        if pv is pv_v:
+            pv = pv.copy()
+        self._pend.reset()
+        self._pend_op = None
         self._rows, self._cols, self._vals = K.union_merge(
             (self._rows, self._cols, self._vals),
             (pr, pc, pv),
@@ -379,9 +392,9 @@ class Matrix:
         would regroup batches under a non-associative ``dup_op``, so those
         ignore ``lazy`` and run eagerly.
 
-        ``copy=False`` (lazy path only) transfers ownership of the supplied
-        arrays into the pending buffer instead of copying them; callers must
-        not mutate the arrays afterwards.
+        ``copy`` is accepted for API compatibility: the pending arena copies
+        every batch at append time, so both values are equally safe and
+        callers may mutate or reuse their arrays immediately.
         """
         if clear:
             self.clear()
@@ -399,18 +412,6 @@ class Matrix:
         if dup_op is None:
             dup_op = binary.plus
         if lazy and dup_op.associative:
-            # Copy so later caller-side mutation of a reused batch buffer
-            # cannot corrupt the deferred merge — but only arrays that passed
-            # through from the caller; freshly allocated conversions
-            # (np.full broadcast, dtype casts, list inputs) are already
-            # private.  copy=False transfers ownership outright.
-            if copy:
-                if r is rows:
-                    r = r.copy()
-                if c is cols:
-                    c = c.copy()
-                if v is values:
-                    v = v.copy()
             self._append_pending(r, c, v, dup_op)
             return self
         self._wait()
@@ -469,10 +470,7 @@ class Matrix:
         self._rows = np.empty(0, dtype=K.INDEX_DTYPE)
         self._cols = np.empty(0, dtype=K.INDEX_DTYPE)
         self._vals = np.empty(0, dtype=self._dtype.np_type)
-        self._pend_rows.clear()
-        self._pend_cols.clear()
-        self._pend_vals.clear()
-        self._pend_count = 0
+        self._pend.clear()
         self._pend_op = None
         return self
 
@@ -681,11 +679,29 @@ class Matrix:
         offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, counts)
         b_idx = starts + offsets
 
-        prod_rows = a_rows[rep]
-        prod_cols = b_cols[b_idx]
         prod_vals = op.multiply(a_vals[rep], b_vals[b_idx]).astype(
             out_type.np_type, copy=False
         )
+        spec = coords.plan_pack((a_rows, b_cols))
+        if spec is not None:
+            # Packed product path: build the output coordinates directly as
+            # single uint64 keys (row from A, column from B), so the collapse
+            # is one single-key stable argsort plus one gather — no (rows,
+            # cols) materialisation before the sort and only the collapsed
+            # group heads are ever unpacked.  Packing is monotone in the
+            # lexicographic order, so this is bit-identical to the lexsort
+            # engine (property-tested).
+            prod_keys = coords.pack(a_rows[rep], b_cols[b_idx], spec)
+            order = np.argsort(prod_keys, kind="stable")
+            skeys = prod_keys[order]
+            starts2 = K.key_group_starts(skeys)
+            out._rows, out._cols = coords.unpack(skeys[starts2], spec)
+            out._vals = op.add.reduce_groups(prod_vals[order], starts2).astype(
+                out_type.np_type, copy=False
+            )
+            return out._apply_mask(mask, desc)
+        prod_rows = a_rows[rep]
+        prod_cols = b_cols[b_idx]
         prod_rows, prod_cols, prod_vals = K.sort_coo(prod_rows, prod_cols, prod_vals)
         starts2 = K.group_starts(prod_rows, prod_cols)
         out._rows = prod_rows[starts2]
@@ -723,9 +739,9 @@ class Matrix:
         prods = op.multiply(self._vals[hit], v_vals[pos_clamped[hit]]).astype(
             out_type.np_type, copy=False
         )
-        order = np.argsort(rows, kind="stable")
-        rows = rows[order]
-        prods = prods[order]
+        # self._rows is sorted and boolean masking preserves order, so `rows`
+        # is already non-decreasing: the historical stable re-sort here was
+        # always the identity permutation and is skipped bit-identically.
         starts = np.flatnonzero(np.concatenate(([True], rows[1:] != rows[:-1])))
         out._indices = rows[starts]
         out._vals = op.add.reduce_groups(prods, starts).astype(out_type.np_type, copy=False)
@@ -857,11 +873,24 @@ class Matrix:
         row_sel = None if rows is _ALL else K.as_index_array(rows, "rows")
         col_sel = None if cols is _ALL else K.as_index_array(cols, "cols")
 
+        # Membership of each stored coordinate in the selection lists: the
+        # fast engine sorts each (small) selection once and binary-searches
+        # the stored column against it; the reference engine keeps np.isin
+        # (same toggle as the packed kernels, for two-engine conformance).
+        fast_join = coords.packing_enabled()
         keep = np.ones(self._rows.size, dtype=bool)
         if row_sel is not None:
-            keep &= np.isin(self._rows, row_sel)
+            keep &= (
+                K.sorted_membership(self._rows, row_sel)
+                if fast_join
+                else np.isin(self._rows, row_sel)
+            )
         if col_sel is not None:
-            keep &= np.isin(self._cols, col_sel)
+            keep &= (
+                K.sorted_membership(self._cols, col_sel)
+                if fast_join
+                else np.isin(self._cols, col_sel)
+            )
         r, c, v = self._rows[keep], self._cols[keep], self._vals[keep]
 
         if not reindex:

@@ -24,6 +24,7 @@ from typing import Iterator, Optional, Tuple, Union
 import numpy as np
 
 from . import _kernels as K
+from . import arena
 from .binaryop import BinaryOp, binary
 from .errors import DimensionMismatch, IndexOutOfBound, InvalidValue, NotImplementedException
 from .monoid import Monoid, monoid
@@ -59,9 +60,7 @@ class Vector:
         "_dtype",
         "_indices",
         "_vals",
-        "_pend_idx",
-        "_pend_vals",
-        "_pend_count",
+        "_pend",
         "_pend_op",
         "name",
     )
@@ -74,9 +73,9 @@ class Vector:
         self._size = size
         self._indices = np.empty(0, dtype=K.INDEX_DTYPE)
         self._vals = np.empty(0, dtype=self._dtype.np_type)
-        self._pend_idx: list = []
-        self._pend_vals: list = []
-        self._pend_count = 0
+        # Pending (index, value-bits) pairs live in a preallocated arena:
+        # appends are memcpys, the flush sorts the used prefix directly.
+        self._pend = arena.make_pending(2)
         self._pend_op: Optional[BinaryOp] = None
         self.name = name
 
@@ -144,20 +143,34 @@ class Vector:
         Unlike :attr:`nvals` this does not force a merge, so it is O(1);
         deferred-accumulation callers use it to budget flushes cheaply.
         """
-        return int(self._indices.size) + self._pend_count
+        return int(self._indices.size) + self._pend.used
 
     @property
     def has_pending(self) -> bool:
         """True when lazily built entries are buffered but not yet merged."""
-        return self._pend_count > 0
+        return self._pend.used > 0
+
+    @property
+    def memory_breakdown(self) -> dict:
+        """Resident bytes by role: stored arrays vs pending used/capacity.
+
+        The pending arena preallocates geometrically, so its resident
+        footprint (``pending_capacity_bytes``) can exceed the live data
+        (``pending_used_bytes``); spill/placement decisions must follow the
+        capacity while traffic estimates follow the used bytes (see
+        :meth:`repro.memory.hierarchy.MemoryHierarchy.placement_level`).
+        """
+        return {
+            "stored_bytes": int(self._indices.nbytes + self._vals.nbytes),
+            "pending_used_bytes": int(self._pend.used_bytes),
+            "pending_capacity_bytes": int(self._pend.capacity_bytes),
+        }
 
     @property
     def memory_usage(self) -> int:
-        """Approximate bytes used by index, value, and pending storage."""
-        pending = sum(
-            a.nbytes for chunk in (self._pend_idx, self._pend_vals) for a in chunk
-        )
-        return int(self._indices.nbytes + self._vals.nbytes + pending)
+        """Approximate resident bytes: stored arrays plus pending *capacity*."""
+        b = self.memory_breakdown
+        return b["stored_bytes"] + b["pending_capacity_bytes"]
 
     def _append_pending(self, idx: np.ndarray, v: np.ndarray, op: BinaryOp) -> None:
         """Append validated pairs to the pending buffer under operator ``op``.
@@ -165,15 +178,28 @@ class Vector:
         The whole buffer shares one combining operator; switching operators
         flushes first so ordering semantics are preserved exactly (mirrors
         :meth:`Matrix._append_pending <repro.graphblas.matrix.Matrix>`).
+        Values are canonicalised to the vector dtype here — as raw bits, so
+        the flush never re-casts — and the arena copies, so callers may
+        reuse their batch buffers freely.
         """
         if idx.size == 0:
             return
-        if self._pend_count and self._pend_op is not None and self._pend_op is not op:
+        if self._pend.used and self._pend_op is not None and self._pend_op is not op:
             self._wait()
         self._pend_op = op
-        self._pend_idx.append(idx)
-        self._pend_vals.append(v)
-        self._pend_count += idx.size
+        self._pend.append(idx, arena.value_bits(v, self._dtype.np_type))
+
+    def reserve_pending(self, capacity: int) -> "Vector":
+        """Preallocate the pending buffer for a known fill bound.
+
+        See :meth:`PendingArena.reserve
+        <repro.graphblas.arena.PendingArena.reserve>`: one reservation
+        replaces the geometric growth ladder for callers that stream a
+        bounded number of lazy entries between flushes (the incremental
+        reduction trackers).  No-op on the legacy list backend.
+        """
+        self._pend.reserve(int(capacity))
+        return self
 
     def _wait(self) -> None:
         """Merge any pending entries into the sorted representation.
@@ -181,27 +207,24 @@ class Vector:
         Mirrors ``GrB_wait`` on :class:`Matrix`: pending insertions are sorted
         stably (insertion order survives for ``first``/``second``), duplicate
         indices are collapsed with the buffer's operator, and the result is
-        union-merged into the stored arrays with the same operator.
+        union-merged into the stored arrays with the same operator.  The
+        pending arena is read as zero-copy views — no concatenation, no
+        dtype conversion — and the argsort gather is the flush's single
+        value-array allocation.
         """
-        if self._pend_count == 0:
+        if self._pend.used == 0:
             return
         op = self._pend_op if self._pend_op is not None else binary.second
-        if len(self._pend_idx) == 1:
-            idx = self._pend_idx[0]
-            v = self._pend_vals[0].astype(self._dtype.np_type, copy=False)
-        else:
-            idx = np.concatenate(self._pend_idx)
-            v = np.concatenate(self._pend_vals).astype(self._dtype.np_type, copy=False)
-        self._pend_idx.clear()
-        self._pend_vals.clear()
-        self._pend_count = 0
+        idx_view, bits_view = self._pend.views()
+        v_view = arena.bits_to_values(bits_view, self._dtype.np_type)
+        order = np.argsort(idx_view, kind="stable")
+        idx, v = idx_view[order], v_view[order]  # fresh arrays, detached
+        self._pend.reset()
         self._pend_op = None
-        order = np.argsort(idx, kind="stable")
-        idx, v = idx[order], v[order]
         zeros = np.zeros(idx.size, dtype=K.INDEX_DTYPE)
         idx, _, v = K.collapse_duplicates(idx, zeros, v, op)
         if self._indices.size == 0:
-            self._indices, self._vals = idx.copy(), v.copy()
+            self._indices, self._vals = idx, v
         else:
             i, _, vv = K.union_merge(
                 (self._indices, np.zeros(self._indices.size, dtype=K.INDEX_DTYPE), self._vals),
@@ -247,10 +270,9 @@ class Vector:
             (deferral regroups batches); non-associative operators ignore
             ``lazy`` and build eagerly.
         copy:
-            Lazy path only: copy caller-supplied arrays into the pending
-            buffer so later caller-side mutation cannot corrupt the deferred
-            merge.  ``copy=False`` transfers ownership instead; callers must
-            not mutate the arrays afterwards.
+            Accepted for API compatibility.  The pending arena copies every
+            batch at append time, so both values are equally safe — callers
+            may mutate or reuse their arrays immediately.
         """
         if clear:
             self.clear()
@@ -267,11 +289,6 @@ class Vector:
         if dup_op is None:
             dup_op = binary.plus
         if lazy and dup_op.associative:
-            if copy:
-                if idx is indices:
-                    idx = idx.copy()
-                if v is values:
-                    v = v.copy()
             self._append_pending(idx, v, dup_op)
             return self
         self._wait()
@@ -358,9 +375,7 @@ class Vector:
         """Remove every stored entry (including pending ones)."""
         self._indices = np.empty(0, dtype=K.INDEX_DTYPE)
         self._vals = np.empty(0, dtype=self._dtype.np_type)
-        self._pend_idx.clear()
-        self._pend_vals.clear()
-        self._pend_count = 0
+        self._pend.clear()
         self._pend_op = None
         return self
 

@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.stats import UpdateStats
-from .hierarchy import MemoryHierarchy, default_hierarchy
+from .hierarchy import MemoryHierarchy, MemoryLevel, default_hierarchy
 
 __all__ = ["TrafficEstimate", "CostModel"]
 
@@ -160,6 +160,23 @@ class CostModel:
             estimated_seconds=seconds,
             slow_fraction=slow,
         )
+
+    def placement_for(self, breakdown: dict) -> MemoryLevel:
+        """Placement level for a container's ``memory_breakdown`` dict.
+
+        Accepts the dict shape :attr:`Matrix.memory_breakdown
+        <repro.graphblas.matrix.Matrix.memory_breakdown>` /
+        :attr:`HierarchicalMatrix.memory_breakdown
+        <repro.core.HierarchicalMatrix.memory_breakdown>` report: placement
+        follows the resident footprint (stored + pending *capacity*), while
+        traffic estimates elsewhere keep following live bytes (stored +
+        pending *used*).  See
+        :meth:`~repro.memory.hierarchy.MemoryHierarchy.placement_level`.
+        """
+        stored = int(breakdown.get("stored_bytes", 0))
+        used = stored + int(breakdown.get("pending_used_bytes", 0))
+        resident = stored + int(breakdown.get("pending_capacity_bytes", 0))
+        return self.hierarchy.placement_level(used, resident)
 
     def estimate_flat(self, total_updates: int, batch_size: int, *, distinct_fraction: float = 1.0) -> TrafficEstimate:
         """Traffic estimate for the flat strategy (whole matrix lives in slow memory)."""

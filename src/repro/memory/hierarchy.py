@@ -106,6 +106,29 @@ class MemoryHierarchy:
                 return level
         return self._levels[-1]
 
+    def placement_level(self, used_bytes: int, capacity_bytes: int = None) -> MemoryLevel:
+        """The level a container must be *placed* in, given its footprint split.
+
+        Preallocated arenas distinguish live data (``used_bytes``) from
+        resident allocation (``capacity_bytes``, always >= used).  Placement
+        and spill decisions must follow the **resident** footprint — a layer
+        whose arena preallocated past a cache capacity no longer fits that
+        cache, no matter how little of the arena is filled — while traffic
+        estimates keep following the live bytes actually streamed
+        (:meth:`access_seconds`).  Summing pending fragments, as the
+        pre-arena code did, conflated the two and understated placement.
+
+        Parameters
+        ----------
+        used_bytes:
+            Live bytes (stored arrays plus the filled arena prefix).
+        capacity_bytes:
+            Resident bytes (stored arrays plus full arena capacity).
+            Defaults to ``used_bytes`` for containers without preallocation.
+        """
+        resident = used_bytes if capacity_bytes is None else capacity_bytes
+        return self.level_for(max(int(used_bytes), int(resident)))
+
     def level_index_for(self, working_set_bytes: int) -> int:
         """Index of :meth:`level_for` within the hierarchy."""
         for i, level in enumerate(self._levels):

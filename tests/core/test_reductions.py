@@ -25,6 +25,7 @@ from repro.core import (
 )
 from repro.distributed import ShardedHierarchicalMatrix
 from repro.graphblas import Matrix, Vector, binary, coords, monoid
+from repro.graphblas import _kernels as K
 from repro.graphblas.errors import InvalidValue
 
 CUTS = [500, 5_000]
@@ -242,6 +243,113 @@ class TestIncrementalFlat:
         else:
             with coords.packing_disabled():
                 run()
+
+
+# --------------------------------------------------------------------------- #
+# the deferred-segment machinery (arena backlog, flush absorption, catch-up)
+# --------------------------------------------------------------------------- #
+
+
+def simulate_flush(inc, r, c, v):
+    """Feed one window through observe + a faithful layer-1 flush handoff."""
+    inc.observe(r, c, v)
+    sr, sc, sv, keys, spec = K.build_triples(r, c, v, binary.plus, with_keys=True)
+    return inc.absorb_flush(r.size, binary.plus, sr, sc, sv, keys, spec)
+
+
+class TestDeferredCatchUp:
+    def test_tiny_drain_interval_valve_stays_exact(self):
+        """The in-stream safety valve (raw path) never changes results."""
+        inc = IncrementalReductions(2**32, 2**32, drain_interval=64)
+        flat = Matrix("fp64", 2**32, 2**32)
+        for r, c, v in random_batches(seed=19, nbatches=5, batch=100):
+            inc.observe(r, c, v)
+            flat.build(r, c, v)
+        assert inc.full_drains > 0  # the valve actually fired mid-stream
+        assert_incremental_matches(inc, flat)
+
+    def test_absorbed_flushes_catch_up_exactly(self):
+        """Piggybacked windows settle through segments, never a raw sort."""
+        inc = IncrementalReductions(2**32, 2**32, drain_interval=150)
+        flat = Matrix("fp64", 2**32, 2**32)
+        for r, c, v in random_batches(seed=23, nbatches=6, batch=60):
+            assert simulate_flush(inc, r, c, v)
+            flat.build(r, c, v)
+        assert inc.piggybacked_drains == 6
+        assert inc.run_merges >= 1  # interval crossed: in-stream catch-up
+        assert inc.full_drains == 0  # raw path never paid a sort
+        assert_incremental_matches(inc, flat)
+
+    def test_misaligned_flush_declines_and_drains(self):
+        inc = IncrementalReductions(2**32, 2**32)
+        r = np.array([1, 2], dtype=np.uint64)
+        c = np.array([3, 4], dtype=np.uint64)
+        v = np.array([1.0, 2.0])
+        inc.observe(r, c, v)
+        sr, sc, sv, keys, spec = K.build_triples(r, c, v, binary.plus, with_keys=True)
+        # Flush claims a window size the backlog does not match: the tracker
+        # must fall back to draining its own raw copy (counted once).
+        assert not inc.absorb_flush(5, binary.plus, sr, sc, sv, keys, spec)
+        assert inc.full_drains == 1 and inc.piggybacked_drains == 0
+        flat = Matrix("fp64", 2**32, 2**32).build(r, c, v)
+        assert_incremental_matches(inc, flat)
+
+    def test_non_plus_flush_declines(self):
+        inc = IncrementalReductions(2**32, 2**32)
+        r = np.array([7], dtype=np.uint64)
+        c = np.array([8], dtype=np.uint64)
+        v = np.array([2.0])
+        inc.observe(r, c, v)
+        assert not inc.absorb_flush(1, binary.max, r, c, v)
+        assert inc.nnz() == 1 and float(inc.total()) == 2.0
+
+    def test_observe_is_safe_against_buffer_reuse(self):
+        """The backlog arena copies at append: callers may mutate immediately."""
+        inc = IncrementalReductions(2**32, 2**32)
+        r = np.array([1, 2], dtype=np.uint64)
+        c = np.array([3, 4], dtype=np.uint64)
+        v = np.array([1.0, 2.0])
+        inc.observe(r, c, v)
+        r[0] = 9
+        v[0] = 50.0
+        assert float(inc.total()) == 3.0
+        assert inc.row_traffic().to_coo()[0].tolist() == [1, 2]
+
+    def test_reset_clears_deferred_segments(self):
+        inc = IncrementalReductions(2**32, 2**32)
+        for r, c, v in random_batches(seed=29, nbatches=2, batch=50):
+            simulate_flush(inc, r, c, v)
+        inc.reset()
+        assert inc.nnz() == 0 and float(inc.total()) == 0.0
+        # ... and keeps tracking correctly afterwards.
+        flat = Matrix("fp64", 2**32, 2**32)
+        for r, c, v in random_batches(seed=31, nbatches=2, batch=50):
+            simulate_flush(inc, r, c, v)
+            flat.build(r, c, v)
+        assert_incremental_matches(inc, flat)
+
+    def test_queries_between_flushes_stay_exact(self):
+        """A mid-window read drains raw, desyncs one window, then realigns."""
+        inc = IncrementalReductions(2**32, 2**32)
+        flat = Matrix("fp64", 2**32, 2**32)
+        batches = random_batches(seed=37, nbatches=4, batch=40)
+        for i, (r, c, v) in enumerate(batches):
+            if i == 2:
+                inc.observe(r, c, v)
+                flat.build(r, c, v)
+                inc.total()  # mid-window query: backlog drains the raw way
+                sr, sc, sv, keys, spec = K.build_triples(
+                    r, c, v, binary.plus, with_keys=True
+                )
+                # The following flush is now misaligned and must decline ...
+                assert not inc.absorb_flush(
+                    r.size, binary.plus, sr, sc, sv, keys, spec
+                )
+            else:
+                # ... while aligned windows keep piggybacking.
+                assert simulate_flush(inc, r, c, v)
+                flat.build(r, c, v)
+        assert_incremental_matches(inc, flat)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,415 @@
+"""Tests for the preallocated pending arena and its adopters.
+
+Three layers of coverage: the arena/chunk containers themselves (growth,
+accounting, zero-copy views, instrumentation counters), the raw value-bits
+codec (exact bit round-trips, including NaN payloads), and a hypothesis
+battery asserting that arena-backed ``Matrix``/``Vector``/tracker state is
+bit-identical to the legacy list-append backend across engines, dtypes, and
+operator switches mid-stream — the two backends must be observationally
+indistinguishable everywhere except the instrumentation counters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HierarchicalMatrix
+from repro.graphblas import Matrix, Vector, binary, coords
+from repro.graphblas import arena
+
+
+def nan_with_payload(payload: int) -> float:
+    """A quiet float64 NaN carrying ``payload`` in its mantissa bits."""
+    bits = np.uint64(0x7FF8_0000_0000_0000) | np.uint64(payload)
+    return np.array([bits], dtype=np.uint64).view(np.float64)[0]
+
+
+# --------------------------------------------------------------------------- #
+# the arena container
+# --------------------------------------------------------------------------- #
+
+
+class TestPendingArena:
+    def test_append_views_roundtrip(self):
+        a = arena.PendingArena(3)
+        r = np.array([5, 1, 9], dtype=np.uint64)
+        c = np.array([2, 2, 3], dtype=np.uint64)
+        v = np.array([7, 8, 9], dtype=np.uint64)
+        a.append(r, c, v)
+        a.append(r[:1], c[:1], v[:1])
+        assert a.used == 4 and a.ncols == 3
+        rv, cv, vv = a.views()
+        assert rv.tolist() == [5, 1, 9, 5]
+        assert cv.tolist() == [2, 2, 3, 2]
+        assert vv.tolist() == [7, 8, 9, 7]
+
+    def test_views_are_zero_copy(self):
+        a = arena.PendingArena(1)
+        a.append(np.arange(10, dtype=np.uint64))
+        (view,) = a.views()
+        assert np.shares_memory(view, a._columns[0])
+
+    def test_append_copies_input(self):
+        a = arena.PendingArena(1)
+        batch = np.arange(4, dtype=np.uint64)
+        a.append(batch)
+        batch[0] = 99
+        assert a.views()[0][0] == 0
+
+    def test_geometric_growth_one_per_doubling(self):
+        a = arena.PendingArena(2)
+        one = np.ones(1, dtype=np.uint64)
+        total = arena.MIN_CAPACITY * 8
+        for _ in range(total):
+            a.append(one, one)
+        # Capacity ladder: MIN, 2*MIN, 4*MIN, 8*MIN -> exactly one growth
+        # per doubling, log-many in total.
+        assert a.capacity == total
+        assert a.grow_count == 4
+        # Appending up to the current capacity never grows again.
+        before = a.grow_count
+        a.append(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint64))
+        assert a.grow_count == before
+
+    def test_large_batch_single_growth(self):
+        a = arena.PendingArena(1)
+        a.append(np.zeros(10 * arena.MIN_CAPACITY, dtype=np.uint64))
+        assert a.grow_count == 1
+        assert a.capacity >= 10 * arena.MIN_CAPACITY
+
+    def test_growth_preserves_prefix(self):
+        a = arena.PendingArena(1, capacity=4)
+        a.append(np.array([1, 2, 3, 4], dtype=np.uint64))
+        a.append(np.array([5, 6], dtype=np.uint64))
+        assert a.views()[0].tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_reset_keeps_capacity_clear_drops_it(self):
+        a = arena.PendingArena(2)
+        one = np.ones(100, dtype=np.uint64)
+        a.append(one, one)
+        cap = a.capacity
+        a.reset()
+        assert a.used == 0 and a.capacity == cap
+        a.append(one, one)
+        assert a.grow_count == 1  # steady state: no new growth after reset
+        a.clear()
+        assert a.used == 0 and a.capacity == 0 and a.capacity_bytes == 0
+
+    def test_reserve_replaces_growth_ladder(self):
+        a = arena.PendingArena(1)
+        a.reserve(arena.MIN_CAPACITY * 16)
+        grows = a.grow_count
+        assert grows == 1 and a.capacity >= arena.MIN_CAPACITY * 16
+        for _ in range(16):
+            a.append(np.zeros(arena.MIN_CAPACITY, dtype=np.uint64))
+        assert a.grow_count == grows  # fill never grows within the reservation
+        a.reserve(1)  # smaller than capacity: no-op
+        assert a.grow_count == grows
+
+    def test_byte_accounting(self):
+        a = arena.PendingArena(3)
+        a.append(*(np.ones(10, dtype=np.uint64),) * 3)
+        assert a.used_bytes == 10 * 8 * 3
+        assert a.capacity_bytes == a.capacity * 8 * 3
+        assert a.capacity_bytes >= a.used_bytes
+
+    def test_narrow_unsigned_inputs_zero_extend(self):
+        a = arena.PendingArena(1)
+        a.append(np.array([250, 7], dtype=np.uint8))
+        assert a.views()[0].tolist() == [250, 7]
+
+    def test_invalid_ncols(self):
+        with pytest.raises(ValueError):
+            arena.PendingArena(0)
+        with pytest.raises(ValueError):
+            arena.PendingChunks(0)
+
+
+class TestPendingChunks:
+    def test_concat_counter_only_on_multi_chunk_views(self):
+        c = arena.PendingChunks(2)
+        one = np.ones(5, dtype=np.uint64)
+        c.append(one, one)
+        before = arena.concat_calls()
+        c.views()  # single chunk: handed back as-is
+        assert arena.concat_calls() == before
+        c.append(one, one)
+        c.views()  # two chunks: one counted concatenation
+        assert arena.concat_calls() == before + 1
+
+    def test_interface_parity_with_arena(self):
+        c = arena.PendingChunks(2)
+        one = np.ones(5, dtype=np.uint64)
+        c.append(one, one)
+        assert c.used == 5 and c.capacity == 5  # no preallocation to report
+        assert c.used_bytes == c.capacity_bytes == 5 * 8 * 2
+        assert c.grow_count == 0
+        c.reserve(10_000)  # no-op, interface parity
+        assert c.capacity == 5
+        c.reset()
+        assert c.used == 0 and c.views()[0].size == 0
+
+    def test_append_copies_input(self):
+        c = arena.PendingChunks(1)
+        batch = np.arange(4, dtype=np.uint64)
+        c.append(batch)
+        batch[0] = 99
+        assert c.views()[0][0] == 0
+
+
+class TestBackendToggle:
+    def test_make_pending_follows_toggle(self):
+        assert isinstance(arena.make_pending(2), arena.PendingArena)
+        with arena.arena_disabled():
+            assert isinstance(arena.make_pending(2), arena.PendingChunks)
+        assert isinstance(arena.make_pending(2), arena.PendingArena)
+
+    def test_backend_fixed_at_construction(self):
+        with arena.arena_disabled():
+            v = Vector("fp64", 100)
+        assert isinstance(v._pend, arena.PendingChunks)
+        v.build([1, 2], [1.0, 2.0], lazy=True)  # outside the context
+        assert isinstance(v._pend, arena.PendingChunks)
+        assert v[1] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# the raw value-bits codec
+# --------------------------------------------------------------------------- #
+
+
+class TestValueBits:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_nan_payloads_roundtrip_exactly(self, dtype):
+        vals = np.array(
+            [nan_with_payload(0xABC), np.nan, -np.nan, np.inf, 0.0, -0.0],
+            dtype=dtype,
+        )
+        bits = arena.value_bits(vals, dtype)
+        a = arena.PendingArena(1)
+        a.append(bits)
+        back = arena.bits_to_values(a.views()[0], dtype)
+        u = np.dtype(f"u{np.dtype(dtype).itemsize}")
+        assert np.array_equal(back.view(u), vals.view(u))  # bit-for-bit
+
+    def test_eight_byte_decode_is_zero_copy(self):
+        a = arena.PendingArena(1)
+        a.append(arena.value_bits(np.array([1.5, -2.5]), np.float64))
+        decoded = arena.bits_to_values(a.views()[0], np.float64)
+        assert np.shares_memory(decoded, a._columns[0])
+        assert decoded.tolist() == [1.5, -2.5]
+
+    def test_canonical_input_encode_is_zero_copy(self):
+        vals = np.array([1.5, 2.5], dtype=np.float64)
+        assert np.shares_memory(arena.value_bits(vals, np.float64), vals)
+
+    @pytest.mark.parametrize(
+        "dtype,vals",
+        [
+            (np.int64, [-5, 0, 2**40]),
+            (np.int32, [-5, 0, 7]),
+            (np.uint8, [0, 255]),
+            (np.bool_, [True, False]),
+            (np.float32, [1.5, -0.25]),
+        ],
+    )
+    def test_narrow_dtypes_roundtrip(self, dtype, vals):
+        v = np.array(vals, dtype=dtype)
+        a = arena.PendingArena(1)
+        a.append(arena.value_bits(v, dtype))
+        back = arena.bits_to_values(a.views()[0], dtype)
+        assert back.dtype == np.dtype(dtype)
+        assert np.array_equal(back, v)
+
+    def test_cast_happens_at_encode_time(self):
+        # Mixed-dtype pending batches converge to the canonical dtype here,
+        # once — the flush never re-casts (the old Vector.wait() paid a full
+        # astype copy over the concatenated buffer for this).
+        bits = arena.value_bits(np.array([1, 2], dtype=np.int32), np.float64)
+        assert arena.bits_to_values(bits, np.float64).tolist() == [1.0, 2.0]
+
+
+# --------------------------------------------------------------------------- #
+# bit-identity: arena backend vs legacy list backend
+# --------------------------------------------------------------------------- #
+
+DTYPES = ["fp64", "fp32", "int64"]
+
+
+def _apply_stream(container, stream, ops):
+    """Replay (op_idx, idx, val) triples as single-entry lazy builds."""
+    for op_idx, idx, val in stream:
+        container.build([idx], [val], dup_op=ops[op_idx], lazy=True)
+
+
+class TestBitIdentity:
+    @given(
+        stream=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 30), st.integers(-4, 9)),
+            max_size=60,
+        ),
+        dtype=st.sampled_from(DTYPES),
+        packed=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vector_streams_match(self, stream, dtype, packed):
+        """Arena and list backends agree for any op-switching lazy stream."""
+        ops = [binary.plus, binary.times, binary.second]
+        a = Vector(dtype, 2**32)
+        with arena.arena_disabled():
+            b = Vector(dtype, 2**32)
+        ctx = coords.packing_disabled() if not packed else _null_ctx()
+        with ctx:
+            _apply_stream(a, stream, ops)
+            _apply_stream(b, stream, ops)
+            assert a.isequal(b, check_dtype=True)
+
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(0, 2), st.integers(0, 12), st.integers(0, 12),
+                st.integers(-4, 9),
+            ),
+            max_size=60,
+        ),
+        dtype=st.sampled_from(DTYPES),
+        packed=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_streams_match(self, stream, dtype, packed):
+        ops = [binary.plus, binary.times, binary.second]
+        a = Matrix(dtype, 2**32, 2**32)
+        with arena.arena_disabled():
+            b = Matrix(dtype, 2**32, 2**32)
+        ctx = coords.packing_disabled() if not packed else _null_ctx()
+        with ctx:
+            for op_idx, r, c, val in stream:
+                a.build([r], [c], [val], dup_op=ops[op_idx], lazy=True)
+                b.build([r], [c], [val], dup_op=ops[op_idx], lazy=True)
+            assert a.isequal(b, check_dtype=True)
+
+    def test_nan_payloads_survive_matrix_flush(self):
+        payload = nan_with_payload(0x123)
+        a = Matrix("fp64", 100, 100)
+        with arena.arena_disabled():
+            b = Matrix("fp64", 100, 100)
+        for m in (a, b):
+            m.build([1, 2], [3, 4], [payload, 1.0], dup_op=binary.second, lazy=True)
+            m.wait()
+        _, _, va = a.extract_tuples()
+        _, _, vb = b.extract_tuples()
+        assert np.array_equal(va.view(np.uint64), vb.view(np.uint64))
+        assert va.view(np.uint64)[0] & np.uint64(0xFFF) == 0x123
+
+    @given(
+        seed=st.integers(0, 99),
+        nbatches=st.integers(1, 4),
+        shards=st.sampled_from([None, 1, 2, 3]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_tracker_matches_across_backends(self, seed, nbatches, shards):
+        """Arena-backed tracker state equals the list-append tracker's."""
+        from repro.distributed import ShardedHierarchicalMatrix
+
+        rng = np.random.default_rng(seed)
+        batches = [
+            (
+                rng.integers(0, 50, 40, dtype=np.uint64),
+                rng.integers(0, 50, 40, dtype=np.uint64),
+                rng.integers(1, 6, 40).astype(np.float64),
+            )
+            for _ in range(nbatches)
+        ]
+
+        def run():
+            if shards is None:
+                H = HierarchicalMatrix(2**32, 2**32, cuts=[16, 128])
+                for b in batches:
+                    H.update(*b)
+                inc = H.incremental
+                return (
+                    inc.row_traffic().to_coo(),
+                    inc.col_traffic().to_coo(),
+                    inc.row_fan().to_coo(),
+                    inc.col_fan().to_coo(),
+                    float(inc.total()),
+                    inc.nnz(),
+                )
+            with ShardedHierarchicalMatrix(shards, cuts=[16, 128]) as S:
+                for b in batches:
+                    S.update(*b)
+                inc = S.incremental
+                return (
+                    inc.row_traffic().to_coo(),
+                    inc.col_traffic().to_coo(),
+                    float(inc.total()),
+                    inc.nnz(),
+                )
+
+        got = run()
+        with arena.arena_disabled():
+            want = run()
+        for g, w in zip(got, want):
+            if isinstance(g, tuple):
+                assert np.array_equal(g[0], w[0]) and np.array_equal(g[1], w[1])
+            else:
+                assert g == w
+
+
+def _null_ctx():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+# --------------------------------------------------------------------------- #
+# flush-cost regressions (the Vector.wait() mixed-dtype astype bug)
+# --------------------------------------------------------------------------- #
+
+
+class TestFlushAllocationRegression:
+    def test_mixed_dtype_chunks_flush_without_concat_or_recast(self):
+        """Pending batches of different input dtypes flush exactly.
+
+        The pre-arena implementation concatenated the pending value chunks
+        and then paid a *second* full-size ``astype`` copy whenever batches
+        arrived in mixed dtypes (old ``vector.py:194``).  The arena stores
+        canonical value bits at append time, so the flush performs zero
+        concatenations and zero re-casts, regardless of input dtypes.
+        """
+        v = Vector("fp64", 1000)
+        v.build(np.arange(10, dtype=np.uint64), np.arange(10, dtype=np.int32),
+                lazy=True)
+        v.build(np.arange(10, 20, dtype=np.uint64),
+                np.arange(10, dtype=np.float32) / 4.0, lazy=True)
+        v.build(np.arange(20, 30, dtype=np.uint64),
+                np.arange(10, dtype=np.float64) / 8.0, lazy=True)
+        before = arena.concat_calls()
+        assert v.nvals == 30  # forces the flush
+        assert arena.concat_calls() == before  # zero concatenations
+        assert v[5] == 5.0 and v[12] == 0.5 and v[24] == 0.5
+
+    def test_flush_reads_value_bits_without_copy(self):
+        """The flush's value view aliases the arena column (no astype pass)."""
+        v = Vector("fp64", 1000)
+        v.build(np.arange(8, dtype=np.uint64), np.ones(8, dtype=np.int64),
+                lazy=True)
+        _, bits_view = v._pend.views()
+        decoded = arena.bits_to_values(bits_view, np.float64)
+        assert np.shares_memory(decoded, v._pend._columns[1])
+
+    def test_steady_state_flush_counters(self):
+        """Repeated build/wait cycles: zero concats, no growth after warmup."""
+        m = Matrix("fp64", 2**32, 2**32)
+        idx = np.arange(100, dtype=np.uint64)
+        vals = np.ones(100)
+        m.build(idx, idx, vals, lazy=True)
+        m.wait()
+        grows = m._pend.grow_count
+        concats = arena.concat_calls()
+        for _ in range(10):
+            m.build(idx, idx, vals, lazy=True)
+            m.wait()
+        assert m._pend.grow_count == grows
+        assert arena.concat_calls() == concats

@@ -252,7 +252,7 @@ class TestMatrixAndHierarchyParity:
         for _ in range(100):
             m.build([], [], [], lazy=True)
         assert not m.has_pending
-        assert len(m._pend_rows) == 0
+        assert m._pend.used == 0
 
     def test_setelement_interleaved_with_lazy_build(self):
         """Switching pending operators flushes; replace-then-add semantics hold."""
@@ -263,6 +263,80 @@ class TestMatrixAndHierarchyParity:
         assert m[1, 1] == 9.0
         m.build([1], [1], [4.0], dup_op=binary.plus, lazy=True)
         assert m[1, 1] == 13.0
+
+
+class TestMultiplyAndExtractParity:
+    """Packed-key mxm/mxv/extract fast paths vs the lexsort/np.isin reference.
+
+    The fast paths are gated on the same toggle as the packed kernels, so
+    ``packing_disabled`` drives the reference engine on identical inputs —
+    outputs must be bit-identical (the product-key sort and the lexsort see
+    the same composite order, and both sorts are stable).
+    """
+
+    @given(pairs_a=triple_lists, pairs_b=triple_lists, dtype=value_dtype)
+    @settings(max_examples=40, deadline=None)
+    def test_mxm_parity(self, pairs_a, pairs_b, dtype):
+        name = np.dtype(dtype).name.replace("float", "fp")
+        ra, ca, va = make_triples(pairs_a, dtype)
+        rb, cb, vb = make_triples(pairs_b, dtype)
+        A = Matrix(name, 2**64, 2**64).build(ra, ca, va)
+        B = Matrix(name, 2**64, 2**64).build(rb, cb, vb)
+        fast = A.mxm(B)
+        with coords.packing_disabled():
+            reference = A.mxm(B)
+        assert fast.isequal(reference, check_dtype=True)
+
+    @given(pairs=triple_lists, dtype=value_dtype)
+    @settings(max_examples=40, deadline=None)
+    def test_mxv_parity(self, pairs, dtype):
+        from repro.graphblas import Vector
+
+        name = np.dtype(dtype).name.replace("float", "fp")
+        rows, cols, vals = make_triples(pairs, dtype)
+        A = Matrix(name, 2**64, 2**64).build(rows, cols, vals)
+        x = Vector(name, 2**64)
+        if cols.size:
+            x.build(cols[::2], (np.arange(cols[::2].size) % 3 + 1).astype(dtype))
+        fast = A.mxv(x)
+        with coords.packing_disabled():
+            reference = A.mxv(x)
+        assert fast.isequal(reference, check_dtype=True)
+
+    @given(
+        pairs=triple_lists,
+        sel=st.lists(coordinate, max_size=20),
+        reindex=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_extract_parity(self, pairs, sel, reindex):
+        rows, cols, vals = make_triples(pairs, np.float64)
+        A = Matrix("fp64", 2**64, 2**64).build(rows, cols, vals)
+        selection = np.array(sel, dtype=np.uint64)
+        fast = A.extract(selection, selection, reindex=reindex)
+        with coords.packing_disabled():
+            reference = A.extract(selection, selection, reindex=reindex)
+        assert fast.isequal(reference, check_dtype=True)
+
+    def test_sorted_membership_matches_isin(self):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.integers(0, 1000, 500, dtype=np.uint64))
+        selection = rng.integers(0, 1000, 40, dtype=np.uint64)  # unsorted, dups
+        got = K.sorted_membership(values, selection)
+        assert np.array_equal(got, np.isin(values, selection))
+        empty = np.empty(0, dtype=np.uint64)
+        assert K.sorted_membership(empty, selection).size == 0
+        assert not K.sorted_membership(values, empty).any()
+
+    def test_mxm_on_unpackable_shape_uses_fallback(self):
+        # Full 64-bit coordinates cannot pack into one key: plan_pack
+        # declines and the lexsort branch must produce the same product.
+        big = 2**63
+        A = Matrix("fp64", 2**64, 2**64).build([big, 1], [2, 2], [3.0, 4.0])
+        B = Matrix("fp64", 2**64, 2**64).build([2, 2], [big + 1, 5], [10.0, 1.0])
+        out = A.mxm(B)
+        assert out[big, big + 1] == 30.0 and out[1, 5] == 4.0
+        assert out.nvals == 4
 
 
 class TestSearchScaling:

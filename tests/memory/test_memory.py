@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import HierarchicalMatrix
+from repro.graphblas import Matrix, Vector
 from repro.memory import BYTES_PER_ENTRY, CostModel, MemoryHierarchy, MemoryLevel, default_hierarchy
 
 
@@ -116,3 +117,67 @@ class TestCostModel:
         cm = CostModel(tiny, bytes_per_entry=10)
         est = cm.estimate_hierarchical(10_000, 100, [50])
         assert len(est.writes_per_level) == 2
+
+
+class TestPlacementLevel:
+    """Placement follows resident capacity; traffic follows live bytes."""
+
+    def test_capacity_drives_placement(self):
+        h = default_hierarchy()
+        # 1 KiB of live data in an arena that preallocated 16 MiB: the
+        # container no longer fits L1/L2, whatever its fill level.
+        assert h.placement_level(1024, 16 * 2**20).name == "L3"
+        assert h.placement_level(1024).name == "L1"  # no preallocation
+
+    def test_used_floor_when_capacity_unreported(self):
+        h = default_hierarchy()
+        # A degenerate report (capacity < used) must not improve placement.
+        assert h.placement_level(16 * 2**20, 1024).name == "L3"
+
+    def test_cost_model_placement_for_breakdown(self):
+        cm = CostModel()
+        spilled = {
+            "stored_bytes": 2048,
+            "pending_used_bytes": 0,
+            "pending_capacity_bytes": 64 * 2**20,
+        }
+        assert cm.placement_for(spilled).name == "DRAM"
+        compact = {"stored_bytes": 2048, "pending_used_bytes": 0, "pending_capacity_bytes": 0}
+        assert cm.placement_for(compact).name == "L1"
+
+    def test_matrix_breakdown_separates_used_and_capacity(self):
+        m = Matrix("fp64", 2**32, 2**32)
+        m.build(np.arange(100, dtype=np.uint64), np.arange(100, dtype=np.uint64),
+                np.ones(100), lazy=True)
+        b = m.memory_breakdown
+        assert b["pending_used_bytes"] == 100 * 3 * 8
+        assert b["pending_capacity_bytes"] >= b["pending_used_bytes"]
+        assert m.memory_usage == b["stored_bytes"] + b["pending_capacity_bytes"]
+        m.wait()
+        after = m.memory_breakdown
+        assert after["pending_used_bytes"] == 0
+        assert after["stored_bytes"] > 0
+        # A flushed arena keeps its capacity for the next window ...
+        assert after["pending_capacity_bytes"] == b["pending_capacity_bytes"]
+        # ... and clear() releases it.
+        m.clear()
+        assert m.memory_breakdown["pending_capacity_bytes"] == 0
+
+    def test_vector_breakdown_separates_used_and_capacity(self):
+        v = Vector("fp64", 2**32)
+        v.build(np.arange(50, dtype=np.uint64), np.ones(50), lazy=True)
+        b = v.memory_breakdown
+        assert b["pending_used_bytes"] == 50 * 2 * 8
+        assert b["pending_capacity_bytes"] >= b["pending_used_bytes"]
+        assert v.memory_usage == b["stored_bytes"] + b["pending_capacity_bytes"]
+
+    def test_hierarchical_breakdown_sums_layers(self):
+        H = HierarchicalMatrix(2**32, 2**32, cuts=[100, 1000])
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 10**6, 300).astype(np.uint64)
+        H.update(rows, rows, 1.0)
+        b = H.memory_breakdown
+        assert set(b) == {"stored_bytes", "pending_used_bytes", "pending_capacity_bytes"}
+        for key in b:
+            assert b[key] == sum(layer.memory_breakdown[key] for layer in H.layers)
+        assert H.memory_usage == b["stored_bytes"] + b["pending_capacity_bytes"]
